@@ -1,0 +1,61 @@
+// Ablation: IPO-tree disqualified sets as sorted row-id vectors vs bitmaps
+// over the template skyline (the paper's two implementations, Section 3.2).
+// Reports build time, storage and query latency for both representations.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+#include "harness.h"
+
+using namespace nomsky;
+
+int main() {
+  const size_t kQueries = bench::EnvQueries(30);
+  std::printf("%-8s %-8s %12s %12s %14s %16s\n", "N", "repr", "build [s]",
+              "storage MB", "avg query [s]", "set ops/query");
+
+  for (size_t base : {2000, 5000, 10000}) {
+    gen::GenConfig config;
+    config.num_rows = bench::ScaledRows(base);
+    config.distribution = gen::Distribution::kAnticorrelated;
+    config.seed = 42;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+
+    Rng rng(7);
+    std::vector<PreferenceProfile> queries;
+    for (size_t i = 0; i < kQueries; ++i) {
+      queries.push_back(gen::RandomImplicitQuery(data, tmpl, 3, &rng));
+    }
+
+    for (bool bitmaps : {false, true}) {
+      IpoTreeEngine::Options opts;
+      opts.use_bitmaps = bitmaps;
+      WallTimer build;
+      IpoTreeEngine tree(data, tmpl, opts);
+      double build_s = build.ElapsedSeconds();
+
+      double total = 0.0;
+      size_t ops = 0;
+      for (const auto& q : queries) {
+        WallTimer timer;
+        auto result = tree.Query(q);
+        total += timer.ElapsedSeconds();
+        if (!result.ok()) {
+          std::printf("query failed: %s\n",
+                      result.status().ToString().c_str());
+          return 1;
+        }
+        ops += tree.last_query_stats().set_ops;
+      }
+      std::printf("%-8zu %-8s %12.3f %12.3f %14.6f %16.1f\n", config.num_rows,
+                  bitmaps ? "bitmap" : "vector", build_s,
+                  tree.MemoryUsage() / (1024.0 * 1024.0), total / kQueries,
+                  static_cast<double>(ops) / kQueries);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 4: scalability with respect to database size.
+// Paper sweep: N ∈ {250k, 500k, 750k, 1M}, anti-correlated, 3 numeric +
+// 2 nominal dims, c = 20, θ = 1, order 3, most-frequent template.
+// Baseline here is 1/10 scale (25k..100k); NOMSKY_SCALE=10 restores paper N.
+
+#include <cstdio>
+
+#include "datagen/generator.h"
+#include "harness.h"
+
+using namespace nomsky;
+
+int main() {
+  bench::HarnessOptions opts;
+  opts.num_queries = bench::EnvQueries(10);
+
+  std::vector<bench::PointMetrics> points;
+  for (size_t base : {25000, 50000, 75000, 100000}) {
+    gen::GenConfig config;
+    config.num_rows = bench::ScaledRows(base);
+    config.distribution = gen::Distribution::kAnticorrelated;
+    config.seed = 42;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+    std::printf("fig4: running N = %zu ...\n", config.num_rows);
+    points.push_back(bench::RunPoint(
+        data, tmpl, std::to_string(config.num_rows), opts));
+  }
+  bench::PrintFigure(
+      "Figure 4: scalability vs database size (anti-correlated, "
+      "3 num + 2 nom, c=20, theta=1, order=3)",
+      points);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Section 5.3 hybrid observation: IPO-Tree-k answers queries over popular
+// values; Adaptive SFS picks up the rest. This bench measures the hybrid's
+// hit split and per-path query latency as the query value-popularity mix
+// varies.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/hybrid.h"
+#include "datagen/generator.h"
+#include "harness.h"
+
+using namespace nomsky;
+
+namespace {
+
+// A query of the given order whose non-template choices are drawn from the
+// given popularity band [band_lo, band_hi) of value frequency ranks.
+PreferenceProfile BandedQuery(const Dataset& data,
+                              const PreferenceProfile& tmpl, size_t order,
+                              size_t band_lo, size_t band_hi, Rng* rng) {
+  const Schema& schema = data.schema();
+  PreferenceProfile query(schema);
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    DimId d = schema.nominal_dims()[j];
+    size_t c = schema.dim(d).cardinality();
+    // Frequency-ranked values.
+    std::vector<size_t> counts = data.ValueCounts(d);
+    std::vector<ValueId> ranked(c);
+    for (size_t v = 0; v < c; ++v) ranked[v] = static_cast<ValueId>(v);
+    std::stable_sort(ranked.begin(), ranked.end(), [&](ValueId a, ValueId b) {
+      return counts[a] > counts[b];
+    });
+    std::vector<ValueId> choices = tmpl.pref(j).choices();
+    std::vector<char> used(c, 0);
+    for (ValueId v : choices) used[v] = 1;
+    size_t lo = std::min(band_lo, c - 1), hi = std::min(band_hi, c);
+    while (choices.size() < order) {
+      ValueId v = ranked[lo + rng->UniformInt(hi - lo)];
+      if (!used[v]) {
+        used[v] = 1;
+        choices.push_back(v);
+      }
+    }
+    (void)query.SetPref(j,
+                        ImplicitPreference::Make(c, std::move(choices))
+                            .ValueOrDie());
+  }
+  return query;
+}
+
+}  // namespace
+
+int main() {
+  gen::GenConfig config;
+  config.num_rows = bench::ScaledRows(10000);
+  config.cardinality = 20;
+  config.zipf_theta = 1.0;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = 42;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+
+  const size_t kTopK = 10;
+  std::printf("bench_hybrid: building HybridEngine (IPO-Tree-%zu + SFS-A) "
+              "over N=%zu ...\n",
+              kTopK, config.num_rows);
+  HybridEngine hybrid(data, tmpl, kTopK);
+  std::printf("  preprocessing: %.3f s, storage: %.2f MB\n",
+              hybrid.preprocessing_seconds(),
+              hybrid.MemoryUsage() / (1024.0 * 1024.0));
+
+  struct Band {
+    const char* name;
+    size_t lo, hi;
+  };
+  const Band bands[] = {
+      {"popular (rank 0-9)", 0, 10},
+      {"mixed (rank 0-19)", 0, 20},
+      {"unpopular (rank 10-19)", 10, 20},
+  };
+  const size_t kQueries = bench::EnvQueries(30);
+
+  std::printf("\n%-24s %10s %10s %14s\n", "query band", "tree hits",
+              "fallbacks", "avg query [s]");
+  for (const Band& band : bands) {
+    Rng rng(7);
+    size_t tree_before = hybrid.tree_hits();
+    size_t fb_before = hybrid.fallback_hits();
+    double total = 0.0;
+    for (size_t i = 0; i < kQueries; ++i) {
+      PreferenceProfile q = BandedQuery(data, tmpl, 3, band.lo, band.hi, &rng);
+      WallTimer timer;
+      auto result = hybrid.Query(q);
+      total += timer.ElapsedSeconds();
+      if (!result.ok()) {
+        std::printf("query failed: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("%-24s %10zu %10zu %14.6f\n", band.name,
+                hybrid.tree_hits() - tree_before,
+                hybrid.fallback_hits() - fb_before, total / kQueries);
+  }
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+#include "skyline/sfs_direct.h"
+
+namespace nomsky {
+namespace bench {
+
+double EnvScale() {
+  const char* env = std::getenv("NOMSKY_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+size_t EnvQueries(size_t fallback) {
+  const char* env = std::getenv("NOMSKY_QUERIES");
+  if (env == nullptr) return fallback;
+  long q = std::atol(env);
+  return q > 0 ? static_cast<size_t>(q) : fallback;
+}
+
+size_t ScaledRows(size_t base) {
+  double scaled = static_cast<double>(base) * EnvScale();
+  return scaled < 500.0 ? 500 : static_cast<size_t>(scaled);
+}
+
+namespace {
+
+std::vector<PreferenceProfile> MakeQueries(const Dataset& data,
+                                           const PreferenceProfile& tmpl,
+                                           const HarnessOptions& opts) {
+  Rng rng(opts.query_seed);
+  std::vector<PreferenceProfile> queries;
+  queries.reserve(opts.num_queries);
+  for (size_t i = 0; i < opts.num_queries; ++i) {
+    queries.push_back(gen::RandomImplicitQuery(data, tmpl, opts.order, &rng));
+  }
+  return queries;
+}
+
+template <typename Engine>
+EngineMetrics MeasureQueries(const Engine& engine, const char* name,
+                             double preprocess_s, size_t storage,
+                             const std::vector<PreferenceProfile>& queries,
+                             size_t limit, double* avg_sky_size) {
+  EngineMetrics metrics;
+  metrics.name = name;
+  metrics.preprocess_s = preprocess_s;
+  metrics.storage_bytes = storage;
+  size_t runs = std::min(limit, queries.size());
+  if (runs == 0) return metrics;
+  double total = 0.0, total_size = 0.0;
+  for (size_t i = 0; i < runs; ++i) {
+    WallTimer timer;
+    auto result = engine.Query(queries[i]);
+    total += timer.ElapsedSeconds();
+    NOMSKY_CHECK(result.ok()) << name << ": " << result.status().ToString();
+    total_size += static_cast<double>(result->size());
+  }
+  metrics.avg_query_s = total / static_cast<double>(runs);
+  if (avg_sky_size != nullptr) {
+    *avg_sky_size = total_size / static_cast<double>(runs);
+  }
+  return metrics;
+}
+
+}  // namespace
+
+PointMetrics RunPoint(const Dataset& data, const PreferenceProfile& tmpl,
+                      const std::string& label, const HarnessOptions& opts) {
+  PointMetrics point;
+  point.label = label;
+  std::vector<PreferenceProfile> queries = MakeQueries(data, tmpl, opts);
+
+  // SFS-A is always built: it provides SKY(R̃) and the panel-(d) metrics.
+  AdaptiveSfsEngine asfs(data, tmpl);
+  const size_t sky_size = asfs.sorted_skyline().size();
+  point.sky_ratio =
+      static_cast<double>(sky_size) / static_cast<double>(data.num_rows());
+
+  double affect_total = 0.0;
+  for (const PreferenceProfile& q : queries) {
+    affect_total += static_cast<double>(asfs.CountAffected(q).ValueOrDie());
+  }
+  if (!queries.empty() && sky_size > 0) {
+    point.affect_ratio =
+        affect_total / static_cast<double>(queries.size() * sky_size);
+  }
+
+  double avg_query_sky = 0.0;
+  if (opts.run_ipo_full) {
+    IpoTreeEngine::Options tree_opts;
+    tree_opts.use_bitmaps = true;
+    IpoTreeEngine tree(data, tmpl, tree_opts);
+    point.engines.push_back(MeasureQueries(
+        tree, "IPO Tree", tree.preprocessing_seconds(), tree.MemoryUsage(),
+        queries, queries.size(), nullptr));
+  }
+  if (opts.run_ipo_topk) {
+    IpoTreeEngine::Options tree_opts;
+    tree_opts.use_bitmaps = true;
+    tree_opts.max_values_per_dim = opts.topk;
+    IpoTreeEngine tree(data, tmpl, tree_opts);
+    // Queries may reference unmaterialized values; measure only supported
+    // ones (the hybrid bench covers the fallback behaviour). Top up with
+    // extra random queries so the average is over a real sample.
+    std::vector<PreferenceProfile> supported;
+    for (const PreferenceProfile& q : queries) {
+      if (tree.Query(q).ok()) supported.push_back(q);
+    }
+    Rng topup_rng(opts.query_seed + 1);
+    for (int attempts = 0;
+         supported.size() < std::max<size_t>(opts.num_queries / 2, 3) &&
+         attempts < 300;
+         ++attempts) {
+      PreferenceProfile q =
+          gen::RandomImplicitQuery(data, tmpl, opts.order, &topup_rng);
+      if (tree.Query(q).ok()) supported.push_back(q);
+    }
+    std::string name = "IPO Tree-" + std::to_string(opts.topk);
+    EngineMetrics m = MeasureQueries(tree, name.c_str(),
+                                     tree.preprocessing_seconds(),
+                                     tree.MemoryUsage(), supported,
+                                     supported.size(), nullptr);
+    point.engines.push_back(std::move(m));
+  }
+  if (opts.run_sfsa) {
+    point.engines.push_back(MeasureQueries(
+        asfs, "SFS-A", asfs.preprocessing_seconds(), asfs.MemoryUsage(),
+        queries, queries.size(), &avg_query_sky));
+  }
+  if (opts.run_sfsd) {
+    SfsDirectEngine sfsd(data, tmpl);
+    point.engines.push_back(MeasureQueries(sfsd, "SFS-D", 0.0, 0, queries,
+                                           opts.sfsd_queries, nullptr));
+  }
+  if (avg_query_sky == 0.0 && !queries.empty()) {
+    // SFS-A disabled: fall back to counting via the first enabled engine.
+    avg_query_sky = static_cast<double>(sky_size);
+  }
+  if (sky_size > 0) {
+    point.skyq_ratio = avg_query_sky / static_cast<double>(sky_size);
+  }
+  return point;
+}
+
+namespace {
+
+void PrintPanel(const char* panel_title, const char* unit,
+                const std::vector<PointMetrics>& points,
+                double (*get)(const EngineMetrics&)) {
+  // Column set: union of engine names across points (a point may skip an
+  // engine, e.g. the full IPO tree at high dimensionality).
+  std::vector<std::string> names;
+  for (const auto& p : points) {
+    for (const auto& e : p.engines) {
+      if (std::find(names.begin(), names.end(), e.name) == names.end()) {
+        names.push_back(e.name);
+      }
+    }
+  }
+  std::printf("\n  %s\n", panel_title);
+  std::printf("    %-12s", "x");
+  for (const auto& name : names) std::printf(" %14s", name.c_str());
+  std::printf("   [%s]\n", unit);
+  for (const auto& p : points) {
+    std::printf("    %-12s", p.label.c_str());
+    for (const auto& name : names) {
+      auto it = std::find_if(p.engines.begin(), p.engines.end(),
+                             [&](const EngineMetrics& e) {
+                               return e.name == name;
+                             });
+      if (it == p.engines.end()) {
+        std::printf(" %14s", "-");
+      } else {
+        std::printf(" %14.6g", get(*it));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+void PrintFigure(const std::string& title,
+                 const std::vector<PointMetrics>& points) {
+  if (points.empty()) return;
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+
+  PrintPanel("(a) preprocessing time", "s", points,
+             [](const EngineMetrics& e) { return e.preprocess_s; });
+  PrintPanel("(b) query time", "s", points,
+             [](const EngineMetrics& e) { return e.avg_query_s; });
+  PrintPanel("(c) storage", "MB", points, [](const EngineMetrics& e) {
+    return static_cast<double>(e.storage_bytes) / (1024.0 * 1024.0);
+  });
+
+  std::printf("\n  (d) dataset properties\n");
+  std::printf("    %-12s %18s %24s %22s\n", "x", "|SKY(R)|/|D| %",
+              "|AFFECT(R)|/|SKY(R)| %", "|SKY(R')|/|SKY(R)| %");
+  for (const auto& p : points) {
+    std::printf("    %-12s %18.2f %24.2f %22.2f\n", p.label.c_str(),
+                100.0 * p.sky_ratio, 100.0 * p.affect_ratio,
+                100.0 * p.skyq_ratio);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace nomsky

@@ -1,0 +1,80 @@
+// Experiment harness reproducing the paper's evaluation protocol
+// (Section 5): for each x-axis point it builds the four engines (IPO Tree,
+// IPO Tree-k, SFS-A, SFS-D), measures
+//   (a) preprocessing time,
+//   (b) mean query time over random implicit preferences,
+//   (c) storage,
+//   (d) the dataset-property percentages |SKY(R)|/|D|,
+//       |AFFECT(R)|/|SKY(R)| and |SKY(R')|/|SKY(R)|,
+// and prints one paper-style table per panel.
+//
+// Scaling: the paper runs N up to 1M with 100 queries per point on 2008
+// hardware, with runtimes up to 10^5 s. Bench defaults are scaled down so
+// the whole suite finishes in minutes; set NOMSKY_SCALE (row multiplier)
+// and NOMSKY_QUERIES to approach paper scale.
+
+#ifndef NOMSKY_BENCH_HARNESS_H_
+#define NOMSKY_BENCH_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+namespace bench {
+
+/// \brief Which engines to run and how many queries to average.
+struct HarnessOptions {
+  size_t num_queries = 10;   ///< queries averaged per point (paper: 100)
+  size_t sfsd_queries = 2;   ///< SFS-D re-scans the dataset; average fewer
+  size_t order = 3;          ///< order of the random implicit preferences
+  bool run_ipo_full = true;
+  bool run_ipo_topk = true;
+  size_t topk = 10;          ///< the paper's IPO-Tree-10
+  bool run_sfsa = true;
+  bool run_sfsd = true;
+  uint64_t query_seed = 7;
+};
+
+/// \brief Per-engine measurements at one sweep point.
+struct EngineMetrics {
+  std::string name;
+  double preprocess_s = 0.0;
+  double avg_query_s = 0.0;
+  size_t storage_bytes = 0;
+};
+
+/// \brief All measurements at one sweep point.
+struct PointMetrics {
+  std::string label;  ///< x-axis value, e.g. "250k" or "4 dims"
+  double sky_ratio = 0.0;     ///< |SKY(R)| / |D|
+  double affect_ratio = 0.0;  ///< |AFFECT(R)| / |SKY(R)|
+  double skyq_ratio = 0.0;    ///< |SKY(R')| / |SKY(R)|
+  std::vector<EngineMetrics> engines;
+};
+
+/// \brief Builds every enabled engine over (data, tmpl), runs the query
+/// workload, and collects the panel metrics.
+PointMetrics RunPoint(const Dataset& data, const PreferenceProfile& tmpl,
+                      const std::string& label, const HarnessOptions& opts);
+
+/// \brief Prints the four panels of one figure in paper layout.
+void PrintFigure(const std::string& title,
+                 const std::vector<PointMetrics>& points);
+
+/// \brief NOMSKY_SCALE env (default 1.0): multiplies baseline row counts.
+double EnvScale();
+
+/// \brief NOMSKY_QUERIES env override for HarnessOptions::num_queries.
+size_t EnvQueries(size_t fallback);
+
+/// \brief Scaled row count helper: max(500, base * EnvScale()).
+size_t ScaledRows(size_t base);
+
+}  // namespace bench
+}  // namespace nomsky
+
+#endif  // NOMSKY_BENCH_HARNESS_H_

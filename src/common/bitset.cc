@@ -1,0 +1,66 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+namespace nomsky {
+
+DynamicBitset::DynamicBitset(size_t size, bool value)
+    : size_(size), words_((size + 63) / 64, value ? ~uint64_t{0} : 0) {
+  if (value) ClearPadding();
+}
+
+void DynamicBitset::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  ClearPadding();
+}
+
+void DynamicBitset::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void DynamicBitset::ClearPadding() {
+  size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+size_t DynamicBitset::count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  NOMSKY_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  NOMSKY_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
+  NOMSKY_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::vector<uint32_t> DynamicBitset::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(count());
+  ForEachSetBit([&](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace nomsky

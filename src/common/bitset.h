@@ -1,0 +1,97 @@
+// DynamicBitset: a fixed-size-at-construction bitset with fast bulk
+// operations (AND, OR, AND-NOT) and set-bit iteration.
+//
+// Used by the bitmap implementation of the IPO-tree (paper Section 3.2,
+// "Another efficient implementation is to store the skyline for each node
+// ... by means of a bitmap") and by the partial-order transitive-closure
+// matrix.
+
+#ifndef NOMSKY_COMMON_BITSET_H_
+#define NOMSKY_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+/// \brief Bit vector of fixed logical size with word-parallel set algebra.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all clear (or all set).
+  explicit DynamicBitset(size_t size, bool value = false);
+
+  size_t size() const { return size_; }
+
+  void set(size_t i) {
+    NOMSKY_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void reset(size_t i) {
+    NOMSKY_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool test(size_t i) const {
+    NOMSKY_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// \brief Sets or clears every bit.
+  void SetAll();
+  void ClearAll();
+
+  /// \brief Number of set bits.
+  size_t count() const;
+
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// In-place word-parallel set algebra. Operand sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// \brief this := this AND NOT other (set difference).
+  DynamicBitset& AndNot(const DynamicBitset& other);
+
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// \brief Calls `fn(index)` for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// \brief Extracts set-bit indices into a vector.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// \brief Heap footprint in bytes.
+  size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  void ClearPadding();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_BITSET_H_

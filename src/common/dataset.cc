@@ -1,0 +1,61 @@
+#include "common/dataset.h"
+
+namespace nomsky {
+
+Status Dataset::Append(const RowValues& row) {
+  if (row.numeric.size() != schema_.num_numeric() ||
+      row.nominal.size() != schema_.num_nominal()) {
+    return Status::InvalidArgument(
+        "row layout mismatch: got ", row.numeric.size(), " numeric / ",
+        row.nominal.size(), " nominal, schema has ", schema_.num_numeric(),
+        " / ", schema_.num_nominal());
+  }
+  for (size_t j = 0; j < row.nominal.size(); ++j) {
+    DimId d = schema_.nominal_dims()[j];
+    if (row.nominal[j] >= schema_.dim(d).cardinality()) {
+      return Status::OutOfRange("nominal value id ", row.nominal[j],
+                                " out of range for dimension '",
+                                schema_.dim(d).name(), "'");
+    }
+  }
+  for (size_t i = 0; i < row.numeric.size(); ++i) {
+    numeric_cols_[i].push_back(row.numeric[i]);
+  }
+  for (size_t j = 0; j < row.nominal.size(); ++j) {
+    nominal_cols_[j].push_back(row.nominal[j]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Dataset::Reserve(size_t n) {
+  for (auto& c : numeric_cols_) c.reserve(n);
+  for (auto& c : nominal_cols_) c.reserve(n);
+}
+
+RowValues Dataset::GetRow(RowId r) const {
+  NOMSKY_CHECK(r < num_rows_) << "row " << r << " out of range";
+  RowValues row;
+  row.numeric.reserve(numeric_cols_.size());
+  row.nominal.reserve(nominal_cols_.size());
+  for (const auto& c : numeric_cols_) row.numeric.push_back(c[r]);
+  for (const auto& c : nominal_cols_) row.nominal.push_back(c[r]);
+  return row;
+}
+
+std::vector<size_t> Dataset::ValueCounts(DimId d) const {
+  NOMSKY_CHECK(schema_.dim(d).is_nominal());
+  std::vector<size_t> counts(schema_.dim(d).cardinality(), 0);
+  const auto& col = nominal_cols_[schema_.typed_index(d)];
+  for (ValueId v : col) ++counts[v];
+  return counts;
+}
+
+size_t Dataset::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& c : numeric_cols_) bytes += c.capacity() * sizeof(double);
+  for (const auto& c : nominal_cols_) bytes += c.capacity() * sizeof(ValueId);
+  return bytes;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,81 @@
+// Dataset: column-major, dictionary-encoded in-memory table.
+//
+// Numeric dimensions are stored as contiguous double columns; nominal
+// dimensions as contiguous ValueId columns. Column-major layout keeps the
+// dominance kernel's inner loops cache-friendly and makes per-dimension
+// inverted indexes trivial to build.
+
+#ifndef NOMSKY_COMMON_DATASET_H_
+#define NOMSKY_COMMON_DATASET_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/types.h"
+
+namespace nomsky {
+
+/// \brief One tuple in row form, used for building datasets and for
+/// incremental insertion. Values are addressed by the schema's typed layout:
+/// numeric[i] is the i-th numeric dimension, nominal[j] the j-th nominal.
+struct RowValues {
+  std::vector<double> numeric;
+  std::vector<ValueId> nominal;
+};
+
+/// \brief In-memory dataset over a fixed Schema.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {
+    numeric_cols_.resize(schema_.num_numeric());
+    nominal_cols_.resize(schema_.num_nominal());
+  }
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// \brief Appends a row. The row must match the schema's typed layout.
+  Status Append(const RowValues& row);
+
+  /// \brief Reserves storage for `n` rows.
+  void Reserve(size_t n);
+
+  /// \brief Value of global dimension `d` (must be numeric) at `row`.
+  double numeric(DimId d, RowId row) const {
+    return numeric_cols_[schema_.typed_index(d)][row];
+  }
+  /// \brief Value of global dimension `d` (must be nominal) at `row`.
+  ValueId nominal(DimId d, RowId row) const {
+    return nominal_cols_[schema_.typed_index(d)][row];
+  }
+
+  /// \brief Direct access to the i-th numeric column (typed index).
+  const std::vector<double>& numeric_column(size_t i) const {
+    return numeric_cols_[i];
+  }
+  /// \brief Direct access to the j-th nominal column (typed index).
+  const std::vector<ValueId>& nominal_column(size_t j) const {
+    return nominal_cols_[j];
+  }
+
+  /// \brief Copies row `r` back into row form.
+  RowValues GetRow(RowId r) const;
+
+  /// \brief Per-value frequency histogram of a nominal dimension.
+  std::vector<size_t> ValueCounts(DimId d) const;
+
+  /// \brief Approximate heap footprint in bytes (column storage only).
+  size_t MemoryUsage() const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> numeric_cols_;
+  std::vector<std::vector<ValueId>> nominal_cols_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_DATASET_H_

@@ -1,0 +1,53 @@
+// Minimal logging / assertion macros.
+
+#ifndef NOMSKY_COMMON_LOGGING_H_
+#define NOMSKY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace nomsky {
+namespace internal {
+
+/// Streams a message and aborts the process on destruction. Used by
+/// NOMSKY_CHECK; never instantiate directly.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "FATAL " << file << ":" << line << " check failed: " << expr
+            << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nomsky
+
+/// \brief Aborts with a diagnostic when `cond` is false. Enabled in all
+/// build types; use for programmer-error invariants, not user input.
+#define NOMSKY_CHECK(cond)                                               \
+  if (!(cond))                                                           \
+  ::nomsky::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define NOMSKY_CHECK_OK(expr)                                   \
+  do {                                                          \
+    ::nomsky::Status _st = (expr);                              \
+    NOMSKY_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (false)
+
+#ifndef NDEBUG
+#define NOMSKY_DCHECK(cond) NOMSKY_CHECK(cond)
+#else
+#define NOMSKY_DCHECK(cond) \
+  if (false) ::nomsky::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+#endif
+
+#endif  // NOMSKY_COMMON_LOGGING_H_

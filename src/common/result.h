@@ -1,0 +1,94 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef NOMSKY_COMMON_RESULT_H_
+#define NOMSKY_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace nomsky {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why no value could be produced.
+///
+/// Accessing the value of an errored Result aborts; call ok() first or use
+/// the NOMSKY_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(rep_).ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  /// Constructs a successful result.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// \brief The status: OK() if a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// \brief Access the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(std::get<T>(rep_));
+    return alternative;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(rep_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace nomsky
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates
+/// its error status out of the enclosing function.
+#define NOMSKY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define NOMSKY_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define NOMSKY_ASSIGN_OR_RETURN_CONCAT(x, y) NOMSKY_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define NOMSKY_ASSIGN_OR_RETURN(lhs, rexpr) \
+  NOMSKY_ASSIGN_OR_RETURN_IMPL(             \
+      NOMSKY_ASSIGN_OR_RETURN_CONCAT(_nomsky_result_, __LINE__), lhs, rexpr)
+
+#endif  // NOMSKY_COMMON_RESULT_H_

@@ -1,0 +1,104 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit seed.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0,1) double.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  NOMSKY_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) : theta_(theta) {
+  NOMSKY_CHECK(n > 0) << "Zipf domain must be non-empty";
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+ValueId ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<ValueId>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  NOMSKY_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace nomsky

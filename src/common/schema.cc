@@ -1,0 +1,90 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+namespace nomsky {
+
+Dimension Dimension::Numeric(std::string name, SortDirection direction) {
+  Dimension d;
+  d.name_ = std::move(name);
+  d.kind_ = DimKind::kNumeric;
+  d.direction_ = direction;
+  return d;
+}
+
+Dimension Dimension::Nominal(std::string name, std::vector<std::string> values) {
+  Dimension d;
+  d.name_ = std::move(name);
+  d.kind_ = DimKind::kNominal;
+  d.dictionary_ = std::move(values);
+  for (ValueId i = 0; i < d.dictionary_.size(); ++i) {
+    d.value_index_.emplace(d.dictionary_[i], i);
+  }
+  return d;
+}
+
+Result<ValueId> Dimension::ValueIdOf(const std::string& value) const {
+  auto it = value_index_.find(value);
+  if (it == value_index_.end()) {
+    return Status::NotFound("value '", value, "' not in dimension '", name_, "'");
+  }
+  return it->second;
+}
+
+const std::string& Dimension::ValueName(ValueId v) const {
+  static const std::string kUnknown = "<invalid>";
+  if (v >= dictionary_.size()) return kUnknown;
+  return dictionary_[v];
+}
+
+Status Schema::AddDimension(Dimension dim) {
+  if (name_index_.count(dim.name()) > 0) {
+    return Status::AlreadyExists("dimension '", dim.name(), "' already in schema");
+  }
+  if (dim.is_nominal() && dim.cardinality() == 0) {
+    return Status::InvalidArgument("nominal dimension '", dim.name(),
+                                   "' has an empty dictionary");
+  }
+  DimId id = static_cast<DimId>(dims_.size());
+  name_index_.emplace(dim.name(), id);
+  if (dim.is_numeric()) {
+    typed_index_.push_back(numeric_dims_.size());
+    numeric_dims_.push_back(id);
+  } else {
+    typed_index_.push_back(nominal_dims_.size());
+    nominal_dims_.push_back(id);
+  }
+  dims_.push_back(std::move(dim));
+  return Status::OK();
+}
+
+Status Schema::AddNumeric(std::string name, SortDirection direction) {
+  return AddDimension(Dimension::Numeric(std::move(name), direction));
+}
+
+Status Schema::AddNominal(std::string name, std::vector<std::string> values) {
+  return AddDimension(Dimension::Nominal(std::move(name), std::move(values)));
+}
+
+Result<DimId> Schema::FindDim(const std::string& name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return Status::NotFound("dimension '", name, "' not in schema");
+  }
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream oss;
+  oss << "Schema(";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << dims_[i].name() << ":"
+        << (dims_[i].is_numeric() ? "num" : "nom");
+    if (dims_[i].is_nominal()) oss << "[" << dims_[i].cardinality() << "]";
+  }
+  oss << ")";
+  return oss.str();
+}
+
+}  // namespace nomsky

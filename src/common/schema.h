@@ -1,0 +1,119 @@
+// Schema: the typed description of a skyline-analysis dataset.
+//
+// A dimension is either NUMERIC (carrying a fixed total order — smaller or
+// larger preferred) or NOMINAL (a dictionary-encoded categorical attribute
+// with NO predefined order; user queries supply implicit preferences over
+// its values). This is the attribute model of Wong et al., Section 2.
+
+#ifndef NOMSKY_COMMON_SCHEMA_H_
+#define NOMSKY_COMMON_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nomsky {
+
+/// \brief Kind of a dimension.
+enum class DimKind { kNumeric, kNominal };
+
+/// \brief Orientation of a numeric dimension's total order.
+enum class SortDirection {
+  kMinBetter,  ///< smaller values dominate (e.g. price)
+  kMaxBetter,  ///< larger values dominate (e.g. hotel class)
+};
+
+/// \brief One attribute of the dataset.
+class Dimension {
+ public:
+  /// Creates a numeric dimension with a fixed total order.
+  static Dimension Numeric(std::string name,
+                           SortDirection direction = SortDirection::kMinBetter);
+
+  /// Creates a nominal dimension with the given value dictionary. The
+  /// dictionary fixes the ValueId encoding: value i of the vector has id i.
+  static Dimension Nominal(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  DimKind kind() const { return kind_; }
+  bool is_numeric() const { return kind_ == DimKind::kNumeric; }
+  bool is_nominal() const { return kind_ == DimKind::kNominal; }
+
+  /// Orientation; meaningful only for numeric dimensions.
+  SortDirection direction() const { return direction_; }
+
+  /// Number of distinct values of a nominal dimension (its cardinality c_i).
+  size_t cardinality() const { return dictionary_.size(); }
+
+  /// Dictionary of a nominal dimension, indexed by ValueId.
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+  /// \brief Resolves a nominal value string to its id.
+  Result<ValueId> ValueIdOf(const std::string& value) const;
+
+  /// \brief Human-readable name of a nominal value id.
+  const std::string& ValueName(ValueId v) const;
+
+ private:
+  Dimension() = default;
+
+  std::string name_;
+  DimKind kind_ = DimKind::kNumeric;
+  SortDirection direction_ = SortDirection::kMinBetter;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, ValueId> value_index_;
+};
+
+/// \brief Ordered collection of dimensions.
+///
+/// Dimensions are addressed by a global DimId (their position in the
+/// schema). Convenience accessors enumerate the numeric / nominal subsets,
+/// which the engines use to lay out column storage and preference vectors.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \brief Appends a dimension; names must be unique.
+  Status AddDimension(Dimension dim);
+
+  /// Convenience wrappers around AddDimension.
+  Status AddNumeric(std::string name,
+                    SortDirection direction = SortDirection::kMinBetter);
+  Status AddNominal(std::string name, std::vector<std::string> values);
+
+  size_t num_dims() const { return dims_.size(); }
+  size_t num_numeric() const { return numeric_dims_.size(); }
+  size_t num_nominal() const { return nominal_dims_.size(); }
+
+  const Dimension& dim(DimId d) const { return dims_[d]; }
+
+  /// Global DimIds of numeric dimensions, in schema order.
+  const std::vector<DimId>& numeric_dims() const { return numeric_dims_; }
+  /// Global DimIds of nominal dimensions, in schema order.
+  const std::vector<DimId>& nominal_dims() const { return nominal_dims_; }
+
+  /// \brief Position of dimension `d` within its typed subset (e.g. the 2nd
+  /// nominal dimension). Used to index column storage.
+  size_t typed_index(DimId d) const { return typed_index_[d]; }
+
+  /// \brief Resolves a dimension name to its global id.
+  Result<DimId> FindDim(const std::string& name) const;
+
+  /// \brief Renders "name:kind" pairs, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<DimId> numeric_dims_;
+  std::vector<DimId> nominal_dims_;
+  std::vector<size_t> typed_index_;
+  std::unordered_map<std::string, DimId> name_index_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_SCHEMA_H_

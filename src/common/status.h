@@ -1,0 +1,124 @@
+// Status / error model for nomsky, in the style of Apache Arrow's Status.
+//
+// Every fallible public API returns either a Status (when there is no value
+// to produce) or a Result<T> (see result.h). Statuses are cheap to copy in
+// the OK case (no allocation) and carry a code plus a human-readable message
+// otherwise.
+
+#ifndef NOMSKY_COMMON_STATUS_H_
+#define NOMSKY_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace nomsky {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kConflict = 5,     // e.g. preferences that contradict the template
+  kUnsupported = 6,  // e.g. value not materialized in a truncated IPO-tree
+  kInternal = 7,
+};
+
+/// \brief Returns a stable, human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code with a message.
+///
+/// The OK status is represented by a null state pointer, so returning and
+/// copying OK statuses never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Conflict(Args&&... args) {
+    return Make(StatusCode::kConflict, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unsupported(Args&&... args) {
+    return Make(StatusCode::kUnsupported, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return Status(code, oss.str());
+  }
+
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace nomsky
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define NOMSKY_RETURN_NOT_OK(expr)               \
+  do {                                           \
+    ::nomsky::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // NOMSKY_COMMON_STATUS_H_

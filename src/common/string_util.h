@@ -1,0 +1,25 @@
+// Small string helpers used by preference parsing and the bench harness.
+
+#ifndef NOMSKY_COMMON_STRING_UTIL_H_
+#define NOMSKY_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace nomsky {
+
+/// \brief Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief Renders a byte count as "12.3 KB" / "4.5 MB" etc.
+std::string HumanBytes(size_t bytes);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_STRING_UTIL_H_

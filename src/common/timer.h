@@ -1,0 +1,36 @@
+// Wall-clock timing utilities for the experiment harness.
+
+#ifndef NOMSKY_COMMON_TIMER_H_
+#define NOMSKY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace nomsky {
+
+/// \brief Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// \brief Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_TIMER_H_

@@ -1,0 +1,28 @@
+// Fundamental scalar typedefs shared across nomsky.
+
+#ifndef NOMSKY_COMMON_TYPES_H_
+#define NOMSKY_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nomsky {
+
+/// \brief Index of a row (tuple) within a Dataset.
+using RowId = uint32_t;
+
+/// \brief Dictionary-encoded id of a nominal value within its dimension's
+/// domain, in [0, cardinality).
+using ValueId = uint32_t;
+
+/// \brief Index of a dimension within a Schema.
+using DimId = uint32_t;
+
+/// \brief Sentinel "no value" markers.
+inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+inline constexpr ValueId kInvalidValue = std::numeric_limits<ValueId>::max();
+inline constexpr DimId kInvalidDim = std::numeric_limits<DimId>::max();
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_TYPES_H_

@@ -1,0 +1,9 @@
+#include "core/engine.h"
+
+// The engine interface is header-only; this TU anchors the vtable.
+
+namespace nomsky {
+
+// (intentionally empty)
+
+}  // namespace nomsky

@@ -1,0 +1,64 @@
+// SkylineEngine: the uniform query interface all four evaluation strategies
+// implement (SFS-D baseline, Adaptive SFS, IPO-Tree, Hybrid).
+//
+// An engine is constructed over a fixed dataset + template (preprocessing
+// happens in the constructor) and then answers implicit-preference queries.
+// Engines report their preprocessing time and storage so the bench harness
+// can reproduce the paper's panels (a) and (c).
+
+#ifndef NOMSKY_CORE_ENGINE_H_
+#define NOMSKY_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "order/preference_profile.h"
+#include "skyline/sfs_direct.h"
+
+namespace nomsky {
+
+/// \brief Abstract implicit-preference skyline engine.
+class SkylineEngine {
+ public:
+  virtual ~SkylineEngine() = default;
+
+  /// \brief Short display name ("SFS-D", "SFS-A", "IPO Tree", ...).
+  virtual const char* name() const = 0;
+
+  /// \brief SKY(R̃') for a user preference refining the engine's template.
+  /// Dimensions the query leaves empty inherit the template's preference.
+  virtual Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const = 0;
+
+  /// \brief Bytes of auxiliary storage this engine materializes (0 for the
+  /// baseline, which reads the raw dataset).
+  virtual size_t MemoryUsage() const { return 0; }
+
+  /// \brief Seconds spent preprocessing at construction.
+  virtual double preprocessing_seconds() const { return 0.0; }
+};
+
+/// \brief The paper's SFS-D baseline behind the engine interface: no
+/// preprocessing, full re-sort + extraction per query.
+class SfsDirectEngine : public SkylineEngine {
+ public:
+  SfsDirectEngine(const Dataset& data, const PreferenceProfile& tmpl)
+      : impl_(data, tmpl) {}
+
+  const char* name() const override { return "SFS-D"; }
+
+  Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const override {
+    return impl_.Query(query);
+  }
+
+ private:
+  SfsDirect impl_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "core/hybrid.h"
+
+namespace nomsky {
+
+HybridEngine::HybridEngine(const Dataset& data, const PreferenceProfile& tmpl,
+                           size_t top_k, IpoTreeEngine::Options tree_options)
+    : tree_(data, tmpl, WithTopK(tree_options, top_k)), sfs_(data, tmpl) {}
+
+Result<std::vector<RowId>> HybridEngine::Query(
+    const PreferenceProfile& query) const {
+  Result<std::vector<RowId>> from_tree = tree_.Query(query);
+  if (from_tree.ok()) {
+    ++tree_hits_;
+    return from_tree;
+  }
+  if (!from_tree.status().IsUnsupported()) return from_tree;  // real error
+  ++fallback_hits_;
+  return sfs_.Query(query);
+}
+
+}  // namespace nomsky

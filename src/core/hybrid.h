@@ -1,0 +1,59 @@
+// Hybrid engine (paper Section 5.3): "A hybrid approach adopting IPO Tree
+// for popular values and SFS-A for handling queries involving the remaining
+// values is a sound solution."
+//
+// Materializes an IPO-Tree-k over the k most frequent values of each
+// nominal dimension; queries whose preferences stay within the materialized
+// values are answered from the tree, everything else falls back to
+// Adaptive SFS.
+
+#ifndef NOMSKY_CORE_HYBRID_H_
+#define NOMSKY_CORE_HYBRID_H_
+
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+
+namespace nomsky {
+
+/// \brief IPO-Tree-k + Adaptive SFS fallback.
+class HybridEngine : public SkylineEngine {
+ public:
+  /// `top_k`: values materialized per nominal dimension (the paper uses 10).
+  HybridEngine(const Dataset& data, const PreferenceProfile& tmpl,
+               size_t top_k, IpoTreeEngine::Options tree_options = {});
+
+  const char* name() const override { return "Hybrid"; }
+
+  Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const override;
+
+  size_t MemoryUsage() const override {
+    return tree_.MemoryUsage() + sfs_.MemoryUsage();
+  }
+  double preprocessing_seconds() const override {
+    return tree_.preprocessing_seconds() + sfs_.preprocessing_seconds();
+  }
+
+  const IpoTreeEngine& tree() const { return tree_; }
+  const AdaptiveSfsEngine& adaptive_sfs() const { return sfs_; }
+
+  /// \brief Queries answered by the tree / by the fallback so far.
+  size_t tree_hits() const { return tree_hits_; }
+  size_t fallback_hits() const { return fallback_hits_; }
+
+ private:
+  static IpoTreeEngine::Options WithTopK(IpoTreeEngine::Options opts,
+                                         size_t top_k) {
+    opts.max_values_per_dim = top_k;
+    return opts;
+  }
+
+  IpoTreeEngine tree_;
+  AdaptiveSfsEngine sfs_;
+  mutable size_t tree_hits_ = 0;
+  mutable size_t fallback_hits_ = 0;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_HYBRID_H_

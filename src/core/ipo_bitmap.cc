@@ -1,0 +1,28 @@
+#include "core/ipo_bitmap.h"
+
+namespace nomsky {
+
+NominalBitmapIndex::NominalBitmapIndex(const Dataset& data,
+                                       const std::vector<RowId>& universe)
+    : universe_size_(universe.size()) {
+  const Schema& schema = data.schema();
+  bitmaps_.resize(schema.num_nominal());
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    bitmaps_[j].assign(c, DynamicBitset(universe.size()));
+    const auto& col = data.nominal_column(j);
+    for (size_t i = 0; i < universe.size(); ++i) {
+      bitmaps_[j][col[universe[i]]].set(i);
+    }
+  }
+}
+
+size_t NominalBitmapIndex::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& per_dim : bitmaps_) {
+    for (const auto& bm : per_dim) bytes += bm.MemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,44 @@
+// NominalBitmapIndex: per-(dimension, value) bitmaps over a fixed row set.
+//
+// This is the "inverted list for each nominal attribute" of the paper's
+// bitmap IPO-tree implementation (Section 3.2): given the template skyline
+// S as a positional universe, bitmap[j][v] has bit i set iff S[i] carries
+// value v on nominal dimension j. PSKY filters in the merge step become
+// AND-with-OR-of-masks.
+
+#ifndef NOMSKY_CORE_IPO_BITMAP_H_
+#define NOMSKY_CORE_IPO_BITMAP_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace nomsky {
+
+/// \brief Positional inverted bitmaps of the nominal columns over a row
+/// universe.
+class NominalBitmapIndex {
+ public:
+  /// Builds bitmaps over `universe` (position i ↔ universe[i]).
+  NominalBitmapIndex(const Dataset& data, const std::vector<RowId>& universe);
+
+  size_t universe_size() const { return universe_size_; }
+
+  /// \brief Bitmap of positions whose value on nominal dim `j` equals `v`.
+  const DynamicBitset& bitmap(size_t nominal_idx, ValueId v) const {
+    return bitmaps_[nominal_idx][v];
+  }
+
+  /// \brief Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  size_t universe_size_;
+  std::vector<std::vector<DynamicBitset>> bitmaps_;  // [nominal_idx][value]
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_IPO_BITMAP_H_

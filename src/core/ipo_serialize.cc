@@ -1,0 +1,240 @@
+// Binary persistence of an IPO tree.
+//
+// Layout (little-endian, fixed-width):
+//   magic "NIPO", version u32
+//   fingerprint: num_rows u64, num_nominal u32, cardinalities u32[]
+//   template: per nominal dim, order u32 + choice ids u32[]
+//   options: use_bitmaps u8, max_values_per_dim u64
+//   skyline: count u64 + row ids u32[]
+//   allowed values: per dim, count u32 + value ids u32[]
+//   nodes: disqualified sets in construction (preorder) order, each as
+//          count u64 + row ids u32[]; the tree SHAPE is a pure function of
+//          the allowed-value lists, so no structural metadata is stored.
+//   build stats: num_nodes u64, total_disqualified u64, mdc_conditions u64
+
+#include <cstring>
+#include <fstream>
+
+#include "core/ipo_tree.h"
+
+namespace nomsky {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'I', 'P', 'O'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteU32Vector(std::ofstream& out, const std::vector<uint32_t>& v) {
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+}
+
+bool ReadU32Vector(std::ifstream& in, std::vector<uint32_t>* v,
+                   uint64_t sanity_max) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count > sanity_max) return false;
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(uint32_t)));
+  return in.good() || (count == 0 && !in.bad());
+}
+
+}  // namespace
+
+Status IpoTreeEngine::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '", path, "' for writing");
+  }
+  out.write(kMagic, 4);
+  WritePod(out, kVersion);
+
+  const Schema& schema = data_->schema();
+  WritePod<uint64_t>(out, data_->num_rows());
+  WritePod<uint32_t>(out, static_cast<uint32_t>(schema.num_nominal()));
+  for (DimId d : schema.nominal_dims()) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(schema.dim(d).cardinality()));
+  }
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    WriteU32Vector(out, template_->pref(j).choices());
+  }
+  WritePod<uint8_t>(out, options_.use_bitmaps ? 1 : 0);
+  WritePod<uint64_t>(out, options_.max_values_per_dim);
+
+  WriteU32Vector(out, skyline_);
+  for (const auto& values : allowed_) WriteU32Vector(out, values);
+
+  // Disqualified sets in the same recursion order as BuildSubtree.
+  auto write_node = [&](auto&& self, const Node& node) -> void {
+    for (const auto& child : node.children) {
+      if (child == nullptr) continue;
+      // Choice children store an A-set; the φ child (last slot) stores an
+      // empty one — writing it uniformly keeps the format simple.
+      std::vector<uint32_t> rows;
+      if (options_.use_bitmaps) {
+        child->a_bits.ForEachSetBit(
+            [&](size_t i) { rows.push_back(skyline_[i]); });
+      } else {
+        rows = child->a_rows;
+      }
+      WriteU32Vector(out, rows);
+      self(self, *child);
+    }
+  };
+  write_node(write_node, *root_);
+
+  WritePod<uint64_t>(out, build_stats_.num_nodes);
+  WritePod<uint64_t>(out, build_stats_.total_disqualified);
+  WritePod<uint64_t>(out, build_stats_.mdc_conditions);
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '", path, "' failed");
+  return Status::OK();
+}
+
+IpoTreeEngine::IpoTreeEngine(const Dataset& data, const PreferenceProfile& tmpl,
+                             Options options, LoadTag)
+    : data_(&data), template_(&tmpl), options_(options) {
+  name_ = options_.max_values_per_dim == std::numeric_limits<size_t>::max()
+              ? "IPO Tree"
+              : "IPO Tree-" + std::to_string(options_.max_values_per_dim);
+}
+
+Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
+    const Dataset& data, const PreferenceProfile& tmpl,
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open '", path, "'");
+
+  char magic[4];
+  in.read(magic, 4);
+  uint32_t version = 0;
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0 ||
+      !ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("'", path, "' is not an IPO-tree file");
+  }
+
+  const Schema& schema = data.schema();
+  uint64_t num_rows = 0;
+  uint32_t num_nominal = 0;
+  if (!ReadPod(in, &num_rows) || !ReadPod(in, &num_nominal) ||
+      num_rows != data.num_rows() || num_nominal != schema.num_nominal()) {
+    return Status::InvalidArgument("'", path,
+                                   "' was built over a different dataset");
+  }
+  for (DimId d : schema.nominal_dims()) {
+    uint32_t c = 0;
+    if (!ReadPod(in, &c) || c != schema.dim(d).cardinality()) {
+      return Status::InvalidArgument("'", path,
+                                     "' has mismatched nominal cardinalities");
+    }
+  }
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    std::vector<uint32_t> choices;
+    if (!ReadU32Vector(in, &choices, 1 << 20) ||
+        choices != tmpl.pref(j).choices()) {
+      return Status::InvalidArgument("'", path,
+                                     "' was built with a different template");
+    }
+  }
+  uint8_t use_bitmaps = 0;
+  uint64_t max_values = 0;
+  if (!ReadPod(in, &use_bitmaps) || !ReadPod(in, &max_values)) {
+    return Status::InvalidArgument("'", path, "' truncated (options)");
+  }
+
+  Options options;
+  options.use_bitmaps = use_bitmaps != 0;
+  options.max_values_per_dim = max_values;
+  auto engine = std::unique_ptr<IpoTreeEngine>(
+      new IpoTreeEngine(data, tmpl, options, LoadTag{}));
+
+  if (!ReadU32Vector(in, &engine->skyline_, num_rows)) {
+    return Status::InvalidArgument("'", path, "' truncated (skyline)");
+  }
+  engine->row_to_pos_.assign(data.num_rows(), 0);
+  for (size_t i = 0; i < engine->skyline_.size(); ++i) {
+    if (engine->skyline_[i] >= data.num_rows()) {
+      return Status::InvalidArgument("'", path, "' has out-of-range rows");
+    }
+    engine->row_to_pos_[engine->skyline_[i]] = i;
+  }
+
+  engine->allowed_.resize(num_nominal);
+  engine->allowed_slot_.resize(num_nominal);
+  for (size_t j = 0; j < num_nominal; ++j) {
+    size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    if (!ReadU32Vector(in, &engine->allowed_[j], c)) {
+      return Status::InvalidArgument("'", path, "' truncated (allowed)");
+    }
+    engine->allowed_slot_[j].assign(c, -1);
+    for (size_t k = 0; k < engine->allowed_[j].size(); ++k) {
+      if (engine->allowed_[j][k] >= c) {
+        return Status::InvalidArgument("'", path, "' has bad allowed values");
+      }
+      engine->allowed_slot_[j][engine->allowed_[j][k]] =
+          static_cast<int32_t>(k);
+    }
+  }
+  if (options.use_bitmaps) {
+    engine->bitmap_index_ =
+        std::make_unique<NominalBitmapIndex>(data, engine->skyline_);
+  }
+
+  // Rebuild the tree shape and read A-sets in the same recursion order.
+  engine->root_ = std::make_unique<Node>();
+  Status read_error = Status::OK();
+  auto read_node = [&](auto&& self, Node* node, size_t depth) -> void {
+    if (depth == num_nominal || !read_error.ok()) return;
+    node->children.resize(engine->allowed_[depth].size() + 1);
+    for (size_t k = 0; k < node->children.size(); ++k) {
+      auto child = std::make_unique<Node>();
+      std::vector<uint32_t> rows;
+      if (!ReadU32Vector(in, &rows, engine->skyline_.size())) {
+        read_error = Status::InvalidArgument("'", path, "' truncated (nodes)");
+        return;
+      }
+      if (engine->options_.use_bitmaps) {
+        child->a_bits = DynamicBitset(engine->skyline_.size());
+        for (uint32_t r : rows) {
+          if (r >= engine->row_to_pos_.size()) {
+            read_error =
+                Status::InvalidArgument("'", path, "' has bad A-set rows");
+            return;
+          }
+          child->a_bits.set(engine->row_to_pos_[r]);
+        }
+      } else {
+        child->a_rows = std::move(rows);
+      }
+      self(self, child.get(), depth + 1);
+      node->children[k] = std::move(child);
+    }
+  };
+  read_node(read_node, engine->root_.get(), 0);
+  NOMSKY_RETURN_NOT_OK(read_error);
+
+  uint64_t num_nodes = 0, total_disq = 0, mdc_conds = 0;
+  if (!ReadPod(in, &num_nodes) || !ReadPod(in, &total_disq) ||
+      !ReadPod(in, &mdc_conds)) {
+    return Status::InvalidArgument("'", path, "' truncated (stats)");
+  }
+  engine->build_stats_.num_nodes = num_nodes;
+  engine->build_stats_.total_disqualified = total_disq;
+  engine->build_stats_.mdc_conditions = mdc_conds;
+  engine->build_stats_.seconds = 0.0;
+  return engine;
+}
+
+}  // namespace nomsky

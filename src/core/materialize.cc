@@ -1,0 +1,93 @@
+#include "core/materialize.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+
+FullMaterializationEngine::FullMaterializationEngine(
+    const Dataset& data, const PreferenceProfile& tmpl, size_t max_order)
+    : data_(&data), template_(&tmpl), max_order_(max_order) {
+  WallTimer timer;
+  PreferenceProfile current = tmpl;
+  Enumerate(0, &current);
+  preprocess_seconds_ = timer.ElapsedSeconds();
+}
+
+std::string FullMaterializationEngine::KeyOf(const PreferenceProfile& profile) {
+  std::string key;
+  for (size_t j = 0; j < profile.num_nominal(); ++j) {
+    for (ValueId v : profile.pref(j).choices()) {
+      key += static_cast<char>('0' + (v % 64));
+      key += static_cast<char>('A' + (v / 64));
+    }
+    key += '|';
+  }
+  return key;
+}
+
+void FullMaterializationEngine::Enumerate(size_t dim,
+                                          PreferenceProfile* current) {
+  const Schema& schema = data_->schema();
+  if (dim == schema.num_nominal()) {
+    table_.emplace(KeyOf(*current),
+                   SfsSkyline(*data_, *current, AllRows(data_->num_rows())));
+    return;
+  }
+  const size_t c = schema.dim(schema.nominal_dims()[dim]).cardinality();
+  const ImplicitPreference tmpl_pref = template_->pref(dim);
+
+  // All choice lists of length |template prefix| .. max_order that extend
+  // the template's prefix with ordered distinct values.
+  std::vector<ValueId> choices = tmpl_pref.choices();
+  std::vector<char> used(c, 0);
+  for (ValueId v : choices) used[v] = 1;
+
+  // Depth-first over extensions; every intermediate length is a valid
+  // preference of its own.
+  auto recurse = [&](auto&& self) -> void {
+    NOMSKY_CHECK_OK(current->SetPref(
+        dim, ImplicitPreference::Make(c, choices).ValueOrDie()));
+    Enumerate(dim + 1, current);
+    if (choices.size() >= std::min(max_order_, c)) return;
+    for (ValueId v = 0; v < c; ++v) {
+      if (used[v]) continue;
+      used[v] = 1;
+      choices.push_back(v);
+      self(self);
+      choices.pop_back();
+      used[v] = 0;
+    }
+  };
+  recurse(recurse);
+  NOMSKY_CHECK_OK(
+      current->SetPref(dim, ImplicitPreference::Make(c, tmpl_pref.choices())
+                                .ValueOrDie()));
+}
+
+Result<std::vector<RowId>> FullMaterializationEngine::Query(
+    const PreferenceProfile& query) const {
+  NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile eff,
+                          query.CombineWithTemplate(*template_));
+  auto it = table_.find(KeyOf(eff));
+  if (it == table_.end()) {
+    return Status::Unsupported("preference of order ", eff.order(),
+                               " not materialized (max order ", max_order_,
+                               ")");
+  }
+  return it->second;
+}
+
+size_t FullMaterializationEngine::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [key, rows] : table_) {
+    bytes += key.capacity() + rows.capacity() * sizeof(RowId) +
+             sizeof(std::pair<std::string, std::vector<RowId>>);
+  }
+  return bytes;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,62 @@
+// Full materialization: the strawman of Section 3 — "a naive approach is
+// to materialize the skylines for all possible preferences. However ...
+// this approach is very costly in storage and preprocessing" (the number
+// of implicit preferences is O((c · c!)^{m'})).
+//
+// This engine enumerates EVERY combination of implicit preferences up to a
+// maximum order over every nominal dimension, computes each skyline, and
+// stores it in a hash table; queries are pure lookups. It exists to
+// reproduce the motivation quantitatively (bench_materialization): even
+// for tiny domains its preprocessing/storage dwarf the IPO tree's, while
+// query times are comparable to the tree's merging evaluation.
+
+#ifndef NOMSKY_CORE_MATERIALIZE_H_
+#define NOMSKY_CORE_MATERIALIZE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief Exhaustive materialization of SKY(R̃') for every implicit
+/// preference of order ≤ max_order refining the template.
+class FullMaterializationEngine : public SkylineEngine {
+ public:
+  /// Enumerates and materializes; cost grows with (c!/(c-x)!)^{m'} — keep
+  /// cardinalities tiny. `data` and `tmpl` must outlive the engine.
+  FullMaterializationEngine(const Dataset& data, const PreferenceProfile& tmpl,
+                            size_t max_order);
+
+  const char* name() const override { return "Full-Mat"; }
+
+  /// \brief Lookup. Queries of unsupported order return Unsupported.
+  Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const override;
+
+  size_t MemoryUsage() const override;
+  double preprocessing_seconds() const override { return preprocess_seconds_; }
+
+  /// \brief Number of materialized preference combinations.
+  size_t num_entries() const { return table_.size(); }
+
+ private:
+  static std::string KeyOf(const PreferenceProfile& profile);
+
+  void Enumerate(size_t dim, PreferenceProfile* current);
+
+  const Dataset* data_;
+  const PreferenceProfile* template_;
+  size_t max_order_;
+  std::unordered_map<std::string, std::vector<RowId>> table_;
+  double preprocess_seconds_ = 0.0;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_MATERIALIZE_H_

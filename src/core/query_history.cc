@@ -1,0 +1,76 @@
+#include "core/query_history.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+QueryHistory::QueryHistory(const Schema& schema, size_t window)
+    : window_(window) {
+  counts_.resize(schema.num_nominal());
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    counts_[j].assign(schema.dim(schema.nominal_dims()[j]).cardinality(), 0);
+  }
+}
+
+void QueryHistory::Record(const PreferenceProfile& query) {
+  NOMSKY_CHECK(query.num_nominal() == counts_.size())
+      << "query arity does not match the tracked schema";
+  std::vector<std::vector<ValueId>> entry(counts_.size());
+  for (size_t j = 0; j < counts_.size(); ++j) {
+    entry[j] = query.pref(j).choices();
+    for (ValueId v : entry[j]) ++counts_[j][v];
+  }
+  log_.push_back(std::move(entry));
+  ++recorded_;
+  if (window_ > 0 && log_.size() > window_) {
+    for (size_t j = 0; j < counts_.size(); ++j) {
+      for (ValueId v : log_.front()[j]) --counts_[j][v];
+    }
+    log_.erase(log_.begin());
+  }
+}
+
+std::vector<ValueId> QueryHistory::TopValues(size_t nominal_idx,
+                                             size_t k) const {
+  const auto& counts = counts_[nominal_idx];
+  std::vector<ValueId> values;
+  for (ValueId v = 0; v < counts.size(); ++v) {
+    if (counts[v] > 0) values.push_back(v);
+  }
+  std::stable_sort(values.begin(), values.end(), [&](ValueId a, ValueId b) {
+    return counts[a] != counts[b] ? counts[a] > counts[b] : a < b;
+  });
+  if (values.size() > k) values.resize(k);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+std::vector<std::vector<ValueId>> QueryHistory::MaterializationPlan(
+    size_t k) const {
+  std::vector<std::vector<ValueId>> plan(counts_.size());
+  for (size_t j = 0; j < counts_.size(); ++j) plan[j] = TopValues(j, k);
+  return plan;
+}
+
+double QueryHistory::CoverageOf(
+    const std::vector<std::vector<ValueId>>& plan) const {
+  if (log_.empty()) return 0.0;
+  size_t covered = 0;
+  for (const auto& entry : log_) {
+    bool ok = true;
+    for (size_t j = 0; j < entry.size() && ok; ++j) {
+      for (ValueId v : entry[j]) {
+        if (!std::binary_search(plan[j].begin(), plan[j].end(), v)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(log_.size());
+}
+
+}  // namespace nomsky

@@ -1,0 +1,63 @@
+// Query-history-driven materialization control (paper Section 3.1):
+// "The tree size can be further controlled if we know the query pattern
+// (e.g., from a history of user queries). Typically, there are popular and
+// unpopular values. For values which are seldom or never chosen in
+// implicit preferences, the corresponding tree nodes in the IPO-tree are
+// not needed."
+//
+// QueryHistory records issued preferences and answers "which values of
+// each nominal dimension should an IPO tree materialize" — by query
+// popularity, not (as the frequency heuristic does) by data popularity.
+
+#ifndef NOMSKY_CORE_QUERY_HISTORY_H_
+#define NOMSKY_CORE_QUERY_HISTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/schema.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief Sliding popularity statistics over issued implicit preferences.
+class QueryHistory {
+ public:
+  /// Tracks the nominal dimensions of `schema`. `window` bounds the number
+  /// of remembered queries (older ones are evicted FIFO); 0 = unbounded.
+  explicit QueryHistory(const Schema& schema, size_t window = 0);
+
+  /// \brief Records one issued query.
+  void Record(const PreferenceProfile& query);
+
+  size_t num_recorded() const { return recorded_; }
+
+  /// \brief How often value `v` of nominal dimension `j` appeared in a
+  /// recorded choice list (within the window).
+  size_t ValueCount(size_t nominal_idx, ValueId v) const {
+    return counts_[nominal_idx][v];
+  }
+
+  /// \brief The k most queried values of a dimension, most popular first;
+  /// ties broken by value id. Values never queried are excluded — if fewer
+  /// than k values were ever queried, the result is shorter than k.
+  std::vector<ValueId> TopValues(size_t nominal_idx, size_t k) const;
+
+  /// \brief Per-dimension top-k lists for all dimensions, in the layout
+  /// IpoTreeEngine::Options::materialize_values expects.
+  std::vector<std::vector<ValueId>> MaterializationPlan(size_t k) const;
+
+  /// \brief Fraction of recorded queries fully answerable from the plan
+  /// (every choice materialized) — the expected hybrid tree-hit rate.
+  double CoverageOf(const std::vector<std::vector<ValueId>>& plan) const;
+
+ private:
+  size_t window_;
+  size_t recorded_ = 0;
+  std::vector<std::vector<size_t>> counts_;            // [dim][value]
+  std::vector<std::vector<std::vector<ValueId>>> log_; // FIFO of choice lists
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_QUERY_HISTORY_H_

@@ -1,0 +1,107 @@
+#include "core/sorted_list.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace nomsky {
+
+SortedList::SortedList() : rng_(0x5eed5eedULL) {
+  head_ = NewNode(ScoreKey{0.0, 0}, kMaxLevel);
+}
+
+SortedList::~SortedList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    FreeNode(n);
+    n = next;
+  }
+}
+
+SortedList::Node* SortedList::NewNode(ScoreKey key, int level) {
+  size_t bytes = sizeof(Node) + (level - 1) * sizeof(Node*);
+  Node* n = static_cast<Node*>(std::malloc(bytes));
+  if (n == nullptr) throw std::bad_alloc();
+  n->key = key;
+  n->level = level;
+  std::memset(static_cast<void*>(n->next), 0, level * sizeof(Node*));
+  node_bytes_ += bytes;
+  return n;
+}
+
+void SortedList::FreeNode(Node* n) { std::free(n); }
+
+int SortedList::RandomLevel() {
+  int level = 1;
+  // p = 1/4 promotion probability.
+  while (level < kMaxLevel && (rng_.Next() & 3) == 0) ++level;
+  return level;
+}
+
+bool SortedList::Insert(ScoreKey key) {
+  Node* update[kMaxLevel];
+  Node* n = head_;
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (n->next[l] != nullptr && n->next[l]->key < key) n = n->next[l];
+    update[l] = n;
+  }
+  if (n->next[0] != nullptr && n->next[0]->key == key) return false;
+
+  int level = RandomLevel();
+  if (level > level_) {
+    for (int l = level_; l < level; ++l) update[l] = head_;
+    level_ = level;
+  }
+  Node* node = NewNode(key, level);
+  for (int l = 0; l < level; ++l) {
+    node->next[l] = update[l]->next[l];
+    update[l]->next[l] = node;
+  }
+  ++size_;
+  return true;
+}
+
+bool SortedList::Erase(ScoreKey key) {
+  Node* update[kMaxLevel];
+  Node* n = head_;
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (n->next[l] != nullptr && n->next[l]->key < key) n = n->next[l];
+    update[l] = n;
+  }
+  Node* target = n->next[0];
+  if (target == nullptr || !(target->key == key)) return false;
+  for (int l = 0; l < target->level; ++l) {
+    if (update[l]->next[l] == target) update[l]->next[l] = target->next[l];
+  }
+  node_bytes_ -= sizeof(Node) + (target->level - 1) * sizeof(Node*);
+  FreeNode(target);
+  --size_;
+  while (level_ > 1 && head_->next[level_ - 1] == nullptr) --level_;
+  return true;
+}
+
+bool SortedList::Contains(ScoreKey key) const {
+  const ScoreKey* found = LowerBound(key);
+  return found != nullptr && *found == key;
+}
+
+const ScoreKey* SortedList::LowerBound(ScoreKey key) const {
+  Node* n = head_;
+  for (int l = level_ - 1; l >= 0; --l) {
+    while (n->next[l] != nullptr && n->next[l]->key < key) n = n->next[l];
+  }
+  Node* candidate = n->next[0];
+  return candidate != nullptr ? &candidate->key : nullptr;
+}
+
+std::vector<ScoreKey> SortedList::ToVector() const {
+  std::vector<ScoreKey> out;
+  out.reserve(size_);
+  ForEach([&](const ScoreKey& k) { out.push_back(k); });
+  return out;
+}
+
+size_t SortedList::MemoryUsage() const { return node_bytes_; }
+
+}  // namespace nomsky

@@ -1,0 +1,89 @@
+// SortedList: a skip list keyed by (score, row) with O(log n) expected
+// insert / erase and in-order traversal.
+//
+// This is the sorted-list substrate of Adaptive SFS (Section 4.2-4.3): the
+// presorted template skyline lives in one, so incremental maintenance after
+// a data update is "simple insertions or deletions ... O(log n) for each
+// such update".
+
+#ifndef NOMSKY_CORE_SORTED_LIST_H_
+#define NOMSKY_CORE_SORTED_LIST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nomsky {
+
+/// \brief Key of the sorted list: ascending score, ties by row id.
+struct ScoreKey {
+  double score;
+  RowId row;
+
+  auto operator<=>(const ScoreKey&) const = default;
+};
+
+/// \brief Skip list of ScoreKeys.
+class SortedList {
+ public:
+  SortedList();
+  ~SortedList();
+
+  SortedList(const SortedList&) = delete;
+  SortedList& operator=(const SortedList&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Inserts a key. Returns false (no-op) if already present.
+  bool Insert(ScoreKey key);
+
+  /// \brief Removes a key. Returns false if absent.
+  bool Erase(ScoreKey key);
+
+  /// \brief True iff the key is present.
+  bool Contains(ScoreKey key) const;
+
+  /// \brief Smallest key ≥ `key`, or nullptr past the end (pointer valid
+  /// until the next mutation).
+  const ScoreKey* LowerBound(ScoreKey key) const;
+
+  /// \brief Calls fn(key) for every element in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->key);
+    }
+  }
+
+  /// \brief Snapshot of all keys in ascending order.
+  std::vector<ScoreKey> ToVector() const;
+
+  /// \brief Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  static constexpr int kMaxLevel = 24;
+
+  struct Node {
+    ScoreKey key;
+    int level;
+    Node* next[1];  // over-allocated to `level` entries
+  };
+
+  Node* NewNode(ScoreKey key, int level);
+  static void FreeNode(Node* n);
+  int RandomLevel();
+
+  Node* head_;
+  int level_ = 1;
+  size_t size_ = 0;
+  size_t node_bytes_ = 0;
+  Rng rng_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_CORE_SORTED_LIST_H_

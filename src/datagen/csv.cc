@@ -1,0 +1,162 @@
+#include "datagen/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace nomsky {
+namespace gen {
+
+namespace {
+
+// Minimal CSV quoting: quote cells containing separators or quotes.
+std::string QuoteCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Splits one CSV line honoring double-quoted cells.
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+Status SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '", path, "' for writing");
+  }
+  const Schema& schema = data.schema();
+  for (DimId d = 0; d < schema.num_dims(); ++d) {
+    if (d > 0) out << ',';
+    out << QuoteCell(schema.dim(d).name());
+  }
+  out << '\n';
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    for (DimId d = 0; d < schema.num_dims(); ++d) {
+      if (d > 0) out << ',';
+      const Dimension& dim = schema.dim(d);
+      if (dim.is_numeric()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", data.numeric(d, r));
+        out << buf;
+      } else {
+        out << QuoteCell(dim.ValueName(data.nominal(d, r)));
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '", path, "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> LoadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '", path, "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'", path, "' is empty (no header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  // Map CSV columns to schema dimensions.
+  std::vector<std::string> header = ParseCsvLine(line);
+  std::vector<DimId> col_to_dim(header.size());
+  std::vector<char> seen(schema.num_dims(), 0);
+  for (size_t c = 0; c < header.size(); ++c) {
+    NOMSKY_ASSIGN_OR_RETURN(DimId d, schema.FindDim(Trim(header[c])));
+    if (seen[d]) {
+      return Status::InvalidArgument("duplicate column '", header[c], "'");
+    }
+    seen[d] = 1;
+    col_to_dim[c] = d;
+  }
+  for (DimId d = 0; d < schema.num_dims(); ++d) {
+    if (!seen[d]) {
+      return Status::InvalidArgument("column '", schema.dim(d).name(),
+                                     "' missing from '", path, "'");
+    }
+  }
+
+  Dataset data(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells = ParseCsvLine(line);
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument(path, ":", line_no, ": expected ",
+                                     header.size(), " cells, got ",
+                                     cells.size());
+    }
+    RowValues row;
+    row.numeric.resize(schema.num_numeric());
+    row.nominal.resize(schema.num_nominal());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const DimId d = col_to_dim[c];
+      const Dimension& dim = schema.dim(d);
+      if (dim.is_numeric()) {
+        errno = 0;
+        char* end = nullptr;
+        double v = std::strtod(cells[c].c_str(), &end);
+        if (errno != 0 || end == cells[c].c_str() || *end != '\0') {
+          return Status::InvalidArgument(path, ":", line_no, ": '", cells[c],
+                                         "' is not a number for column '",
+                                         dim.name(), "'");
+        }
+        row.numeric[schema.typed_index(d)] = v;
+      } else {
+        auto v = dim.ValueIdOf(Trim(cells[c]));
+        if (!v.ok()) {
+          return Status::InvalidArgument(path, ":", line_no, ": ",
+                                         v.status().message());
+        }
+        row.nominal[schema.typed_index(d)] = *v;
+      }
+    }
+    NOMSKY_RETURN_NOT_OK(data.Append(row));
+  }
+  return data;
+}
+
+}  // namespace gen
+}  // namespace nomsky

@@ -1,0 +1,29 @@
+// CSV import/export for datasets, so real inventories can be loaded into
+// the engines without writing code. The header row must match the schema's
+// dimension names; nominal cells hold dictionary strings.
+
+#ifndef NOMSKY_DATAGEN_CSV_H_
+#define NOMSKY_DATAGEN_CSV_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "common/result.h"
+
+namespace nomsky {
+namespace gen {
+
+/// \brief Writes `data` as CSV (header = dimension names; nominal values
+/// as their dictionary strings).
+Status SaveCsv(const Dataset& data, const std::string& path);
+
+/// \brief Reads a CSV against an explicit schema. Columns may appear in
+/// any order but all schema dimensions must be present; unknown columns
+/// are rejected. Numeric cells must parse as doubles; nominal cells must
+/// be in the dimension's dictionary.
+Result<Dataset> LoadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace gen
+}  // namespace nomsky
+
+#endif  // NOMSKY_DATAGEN_CSV_H_

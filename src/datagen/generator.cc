@@ -1,0 +1,156 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace nomsky {
+namespace gen {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAnticorrelated:
+      return "anti-correlated";
+  }
+  return "unknown";
+}
+
+Schema MakeSchema(const GenConfig& config) {
+  Schema schema;
+  for (size_t i = 0; i < config.num_numeric; ++i) {
+    NOMSKY_CHECK_OK(schema.AddNumeric("num" + std::to_string(i)));
+  }
+  std::vector<std::string> values;
+  values.reserve(config.cardinality);
+  for (size_t v = 0; v < config.cardinality; ++v) {
+    values.push_back("v" + std::to_string(v));
+  }
+  for (size_t j = 0; j < config.num_nominal; ++j) {
+    NOMSKY_CHECK_OK(schema.AddNominal("nom" + std::to_string(j), values));
+  }
+  return schema;
+}
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// One numeric point per the Börzsönyi et al. recipes.
+void FillNumeric(Distribution dist, size_t m, Rng* rng,
+                 std::vector<double>* out) {
+  out->resize(m);
+  switch (dist) {
+    case Distribution::kIndependent: {
+      for (size_t i = 0; i < m; ++i) (*out)[i] = rng->UniformDouble();
+      break;
+    }
+    case Distribution::kCorrelated: {
+      // All dimensions cluster around a common diagonal position.
+      double v = rng->UniformDouble();
+      for (size_t i = 0; i < m; ++i) {
+        (*out)[i] = Clamp01(rng->Gaussian(v, 0.05));
+      }
+      break;
+    }
+    case Distribution::kAnticorrelated: {
+      // Sample a total Σx near m/2 and spread it across the dimensions so
+      // that a point good in one dimension is bad in the others.
+      double plane;
+      do {
+        plane = rng->Gaussian(0.5, 0.0625);
+      } while (plane < 0.0 || plane > 1.0);
+      double remaining = plane * static_cast<double>(m);
+      for (size_t i = 0; i + 1 < m; ++i) {
+        double left_dims = static_cast<double>(m - 1 - i);
+        double lo = std::max(0.0, remaining - left_dims);
+        double hi = std::min(1.0, remaining);
+        (*out)[i] = rng->UniformDouble(lo, hi);
+        remaining -= (*out)[i];
+      }
+      (*out)[m - 1] = Clamp01(remaining);
+      rng->Shuffle(out);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset Generate(const GenConfig& config) {
+  Dataset data(MakeSchema(config));
+  data.Reserve(config.num_rows);
+  Rng rng(config.seed);
+  ZipfDistribution zipf(config.cardinality, config.zipf_theta);
+
+  RowValues row;
+  row.nominal.resize(config.num_nominal);
+  for (size_t r = 0; r < config.num_rows; ++r) {
+    FillNumeric(config.distribution, config.num_numeric, &rng, &row.numeric);
+    for (size_t j = 0; j < config.num_nominal; ++j) {
+      row.nominal[j] = zipf.Sample(&rng);
+    }
+    NOMSKY_CHECK_OK(data.Append(row));
+  }
+  return data;
+}
+
+PreferenceProfile MostFrequentTemplate(const Dataset& data) {
+  const Schema& schema = data.schema();
+  PreferenceProfile tmpl(schema);
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    DimId d = schema.nominal_dims()[j];
+    std::vector<size_t> counts = data.ValueCounts(d);
+    ValueId best = static_cast<ValueId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    NOMSKY_CHECK_OK(tmpl.SetPref(
+        j, ImplicitPreference::Make(schema.dim(d).cardinality(), {best})
+               .ValueOrDie()));
+  }
+  return tmpl;
+}
+
+PreferenceProfile RandomImplicitQuery(const Dataset& data,
+                                      const PreferenceProfile& tmpl,
+                                      size_t order, Rng* rng) {
+  const Schema& schema = data.schema();
+  PreferenceProfile query(schema);
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    const size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    std::vector<ValueId> choices = tmpl.pref(j).choices();
+    const size_t target = std::min(c, std::max(order, choices.size()));
+    std::vector<char> used(c, 0);
+    for (ValueId v : choices) used[v] = 1;
+    // Extension values are drawn frequency-weighted (by sampling rows):
+    // users tend to name values that actually occur — this also matches
+    // the paper's popular/unpopular value discussion. Fall back to uniform
+    // draws if rejection stalls (tiny datasets, exhausted hot values).
+    const auto& col = data.nominal_column(j);
+    size_t stalls = 0;
+    while (choices.size() < target) {
+      ValueId v;
+      if (!col.empty() && stalls < 4 * c) {
+        v = col[rng->UniformInt(col.size())];
+      } else {
+        v = static_cast<ValueId>(rng->UniformInt(c));
+      }
+      if (!used[v]) {
+        used[v] = 1;
+        choices.push_back(v);
+      } else {
+        ++stalls;
+      }
+    }
+    NOMSKY_CHECK_OK(query.SetPref(
+        j, ImplicitPreference::Make(c, std::move(choices)).ValueOrDie()));
+  }
+  return query;
+}
+
+}  // namespace gen
+}  // namespace nomsky

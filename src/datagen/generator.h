@@ -1,0 +1,64 @@
+// Synthetic data generation, reproducing the generator of Wong et al. [20]:
+// Börzsönyi-style numeric dimensions (independent / correlated /
+// anti-correlated) plus Zipfian nominal dimensions (paper Section 5,
+// Table 4 defaults).
+
+#ifndef NOMSKY_DATAGEN_GENERATOR_H_
+#define NOMSKY_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+namespace gen {
+
+/// \brief Joint distribution of the numeric dimensions (Börzsönyi et al.).
+enum class Distribution {
+  kIndependent,     ///< each dimension uniform on [0,1)
+  kCorrelated,      ///< points clustered around the diagonal
+  kAnticorrelated,  ///< points near a hyperplane Σx ≈ const (hard case)
+};
+
+const char* DistributionName(Distribution d);
+
+/// \brief Generation parameters; defaults mirror the paper's Table 4
+/// except num_rows, which callers scale to their budget.
+struct GenConfig {
+  size_t num_rows = 100'000;
+  size_t num_numeric = 3;
+  size_t num_nominal = 2;
+  size_t cardinality = 20;      ///< values per nominal dimension
+  double zipf_theta = 1.0;      ///< Zipfian parameter θ
+  Distribution distribution = Distribution::kAnticorrelated;
+  uint64_t seed = 42;
+};
+
+/// \brief Schema for a config: numeric dims "num0..": smaller is better;
+/// nominal dims "nom0.." with dictionary values "v0..v{c-1}".
+Schema MakeSchema(const GenConfig& config);
+
+/// \brief Generates a dataset per the config.
+Dataset Generate(const GenConfig& config);
+
+/// \brief The paper's default template: on every nominal dimension the most
+/// frequent value is preferred to all others ("a more difficult setting as
+/// the skyline tends to be bigger").
+PreferenceProfile MostFrequentTemplate(const Dataset& data);
+
+/// \brief A random x-th order implicit preference refining `tmpl`: each
+/// nominal dimension's choice list is the template's prefix extended with
+/// distinct values (drawn frequency-weighted from the data) up to length
+/// min(x, cardinality). x below the template's order is raised to it (a
+/// query must refine the template).
+PreferenceProfile RandomImplicitQuery(const Dataset& data,
+                                      const PreferenceProfile& tmpl,
+                                      size_t order, Rng* rng);
+
+}  // namespace gen
+}  // namespace nomsky
+
+#endif  // NOMSKY_DATAGEN_GENERATOR_H_

@@ -1,0 +1,105 @@
+#include "datagen/nursery.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nomsky {
+namespace gen {
+
+namespace {
+
+// Domains in UCI attribute order. "form" and "children" become nominal;
+// the rest are totally ordered by domain position (earlier = better),
+// matching the dataset's documented value gradings.
+const std::vector<std::string>& ParentsDomain() {
+  static const std::vector<std::string> d = {"usual", "pretentious",
+                                             "great_pret"};
+  return d;
+}
+const std::vector<std::string>& HasNursDomain() {
+  static const std::vector<std::string> d = {
+      "proper", "less_proper", "improper", "critical", "very_crit"};
+  return d;
+}
+const std::vector<std::string>& FormDomain() {
+  static const std::vector<std::string> d = {"complete", "completed",
+                                             "incomplete", "foster"};
+  return d;
+}
+const std::vector<std::string>& ChildrenDomain() {
+  static const std::vector<std::string> d = {"1", "2", "3", "more"};
+  return d;
+}
+const std::vector<std::string>& HousingDomain() {
+  static const std::vector<std::string> d = {"convenient", "less_conv",
+                                             "critical"};
+  return d;
+}
+const std::vector<std::string>& FinanceDomain() {
+  static const std::vector<std::string> d = {"convenient", "inconv"};
+  return d;
+}
+const std::vector<std::string>& SocialDomain() {
+  static const std::vector<std::string> d = {"nonprob", "slightly_prob",
+                                             "problematic"};
+  return d;
+}
+const std::vector<std::string>& HealthDomain() {
+  static const std::vector<std::string> d = {"recommended", "priority",
+                                             "not_recom"};
+  return d;
+}
+
+}  // namespace
+
+Schema NurserySchema() {
+  Schema schema;
+  NOMSKY_CHECK_OK(schema.AddNumeric("parents"));
+  NOMSKY_CHECK_OK(schema.AddNumeric("has_nurs"));
+  NOMSKY_CHECK_OK(schema.AddNominal("form", FormDomain()));
+  NOMSKY_CHECK_OK(schema.AddNominal("children", ChildrenDomain()));
+  NOMSKY_CHECK_OK(schema.AddNumeric("housing"));
+  NOMSKY_CHECK_OK(schema.AddNumeric("finance"));
+  NOMSKY_CHECK_OK(schema.AddNumeric("social"));
+  NOMSKY_CHECK_OK(schema.AddNumeric("health"));
+  return schema;
+}
+
+Dataset NurseryDataset() {
+  Dataset data(NurserySchema());
+  const size_t np = ParentsDomain().size(), nh = HasNursDomain().size(),
+               nf = FormDomain().size(), nc = ChildrenDomain().size(),
+               nu = HousingDomain().size(), ni = FinanceDomain().size(),
+               ns = SocialDomain().size(), nl = HealthDomain().size();
+  data.Reserve(np * nh * nf * nc * nu * ni * ns * nl);
+
+  RowValues row;
+  row.numeric.resize(6);
+  row.nominal.resize(2);
+  for (size_t p = 0; p < np; ++p)
+    for (size_t h = 0; h < nh; ++h)
+      for (size_t f = 0; f < nf; ++f)
+        for (size_t c = 0; c < nc; ++c)
+          for (size_t u = 0; u < nu; ++u)
+            for (size_t i = 0; i < ni; ++i)
+              for (size_t s = 0; s < ns; ++s)
+                for (size_t l = 0; l < nl; ++l) {
+                  row.numeric[0] = static_cast<double>(p);
+                  row.numeric[1] = static_cast<double>(h);
+                  row.numeric[2] = static_cast<double>(u);
+                  row.numeric[3] = static_cast<double>(i);
+                  row.numeric[4] = static_cast<double>(s);
+                  row.numeric[5] = static_cast<double>(l);
+                  row.nominal[0] = static_cast<ValueId>(f);
+                  row.nominal[1] = static_cast<ValueId>(c);
+                  NOMSKY_CHECK_OK(data.Append(row));
+                }
+  NOMSKY_CHECK(data.num_rows() == 12960) << "Nursery must have 12,960 rows";
+  return data;
+}
+
+}  // namespace gen
+}  // namespace nomsky

@@ -1,0 +1,32 @@
+// Exact reconstruction of the UCI "Nursery" dataset (paper Section 5.2).
+//
+// Nursery is, by construction, the COMPLETE Cartesian product of its eight
+// input attribute domains (3·5·4·4·3·2·3·3 = 12,960 instances), so it can
+// be regenerated offline by enumeration — a faithful substitute for the
+// download, not an approximation (row order differs; skylines don't care).
+//
+// Following the paper's setup: six attributes are treated as totally
+// ordered (modelled as numeric dimensions whose value is the domain index,
+// smaller = better) and two as nominal — "form of the family" and "number
+// of children", both of cardinality 4.
+
+#ifndef NOMSKY_DATAGEN_NURSERY_H_
+#define NOMSKY_DATAGEN_NURSERY_H_
+
+#include "common/dataset.h"
+#include "common/schema.h"
+
+namespace nomsky {
+namespace gen {
+
+/// \brief The 8-attribute Nursery schema: 6 numeric (totally ordered) +
+/// 2 nominal ("form", "children").
+Schema NurserySchema();
+
+/// \brief The full 12,960-row Nursery dataset.
+Dataset NurseryDataset();
+
+}  // namespace gen
+}  // namespace nomsky
+
+#endif  // NOMSKY_DATAGEN_NURSERY_H_

@@ -1,0 +1,132 @@
+#include "mdc/mdc.h"
+
+#include <algorithm>
+
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+
+namespace {
+
+// True iff `sub` ⊆ `sup`; both sorted.
+bool IsSubset(const MdcCondition& sub, const MdcCondition& sup) {
+  return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+std::vector<RowId> MdcIndex::BuildDominatorPool(const Dataset& data) {
+  PreferenceProfile no_nominal_order(data.schema());
+  return SfsSkyline(data, no_nominal_order, AllRows(data.num_rows()));
+}
+
+MdcIndex::MdcIndex(const Dataset& data, const PreferenceProfile& tmpl,
+                   const std::vector<RowId>& skyline,
+                   const std::vector<RowId>& dominator_pool) {
+  const Schema& schema = data.schema();
+  const size_t num_numeric = schema.num_numeric();
+  const size_t num_nominal = schema.num_nominal();
+
+  std::vector<double> sign(num_numeric);
+  for (size_t i = 0; i < num_numeric; ++i) {
+    sign[i] = schema.dim(schema.numeric_dims()[i]).direction() ==
+                      SortDirection::kMinBetter
+                  ? 1.0
+                  : -1.0;
+  }
+
+  conditions_.resize(skyline.size());
+  MdcCondition cond;
+  for (size_t pi = 0; pi < skyline.size(); ++pi) {
+    RowId p = skyline[pi];
+    std::vector<MdcCondition> conds;
+    for (RowId q : dominator_pool) {
+      if (q == p) continue;
+      // The witness must be at least as good numerically everywhere.
+      bool numeric_ok = true;
+      for (size_t i = 0; i < num_numeric; ++i) {
+        const auto& col = data.numeric_column(i);
+        if (sign[i] * col[q] > sign[i] * col[p]) {
+          numeric_ok = false;
+          break;
+        }
+      }
+      if (!numeric_ok) continue;
+
+      cond.clear();
+      for (size_t j = 0; j < num_nominal; ++j) {
+        const auto& col = data.nominal_column(j);
+        ValueId a = col[q], b = col[p];
+        if (a == b) continue;
+        bool in_tmpl = tmpl.pref(j).Compare(a, b) < 0;
+        cond.push_back(MdcPair{static_cast<uint32_t>(j), a, b, in_tmpl});
+      }
+      // Empty condition: q ⪯ p in every dimension already — impossible for
+      // a template-skyline p unless q duplicates p; either way no condition.
+      if (cond.empty()) continue;
+      std::sort(cond.begin(), cond.end());
+      conds.push_back(cond);
+    }
+
+    // Keep only minimal conditions (drop supersets and duplicates).
+    std::sort(conds.begin(), conds.end(),
+              [](const MdcCondition& x, const MdcCondition& y) {
+                return x.size() != y.size() ? x.size() < y.size() : x < y;
+              });
+    conds.erase(std::unique(conds.begin(), conds.end()), conds.end());
+    std::vector<MdcCondition> minimal;
+    for (const MdcCondition& c : conds) {
+      bool covered = false;
+      for (const MdcCondition& m : minimal) {
+        if (IsSubset(m, c)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) minimal.push_back(c);
+    }
+    conditions_[pi] = std::move(minimal);
+  }
+}
+
+bool MdcIndex::Disqualified(size_t skyline_idx,
+                            const EffectiveChoices& choices) const {
+  for (const MdcCondition& cond : conditions_[skyline_idx]) {
+    bool all_hold = true;
+    for (const MdcPair& pair : cond) {
+      ValueId choice = choices[pair.nominal_idx];
+      bool holds;
+      if (choice != kInvalidValue) {
+        // "choice ≺ *" governs: the pair holds iff its better side IS the
+        // chosen value (P(v ≺ *) = {(v, w) | w ≠ v}).
+        holds = (pair.better == choice);
+      } else {
+        holds = pair.in_template;
+      }
+      if (!holds) {
+        all_hold = false;
+        break;
+      }
+    }
+    if (all_hold) return true;
+  }
+  return false;
+}
+
+size_t MdcIndex::TotalConditions() const {
+  size_t n = 0;
+  for (const auto& per_point : conditions_) n += per_point.size();
+  return n;
+}
+
+size_t MdcIndex::MemoryUsage() const {
+  size_t bytes = conditions_.capacity() * sizeof(conditions_[0]);
+  for (const auto& per_point : conditions_) {
+    bytes += per_point.capacity() * sizeof(MdcCondition);
+    for (const auto& c : per_point) bytes += c.capacity() * sizeof(MdcPair);
+  }
+  return bytes;
+}
+
+}  // namespace nomsky

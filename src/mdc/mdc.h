@@ -1,0 +1,91 @@
+// Minimal Disqualifying Conditions (Wong, Pei, Fu, Wang, SIGKDD 2007 [20]),
+// adapted to IPO-tree construction (paper Section 3.1, "Implementation").
+//
+// For a template-skyline point p, a disqualifying condition is the set of
+// per-dimension binary orders a dominator q needs on the nominal dimensions
+// where q and p differ: {(j, q.D_j, p.D_j)}. Under an IPO-tree node, each
+// nominal dimension is governed either by a first-order choice "v ≺ *"
+// (replacing the template on that dimension) or by the template itself; a
+// condition fires — disqualifying p from the node's skyline — when every
+// pair is implied by the dimension's governing order. Storing the minimal
+// conditions of every template-skyline point lets the tree builder decide
+// each node's disqualified set A with cheap per-pair tests instead of a
+// skyline computation per node.
+//
+// Candidate dominators are pruned to the "numeric-only skyline" B (the
+// skyline under empty nominal preferences): any dominator outside B is
+// numerically dominated by a B member with the *same* nominal signature,
+// whose condition is identical — so scanning B is lossless.
+
+#ifndef NOMSKY_MDC_MDC_H_
+#define NOMSKY_MDC_MDC_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief One required binary order: `better` ≺ `worse` on nominal
+/// dimension `nominal_idx`. `in_template` caches whether the template
+/// already implies it (so it holds wherever the template still governs the
+/// dimension).
+struct MdcPair {
+  uint32_t nominal_idx;
+  ValueId better;
+  ValueId worse;
+  bool in_template;
+
+  bool operator==(const MdcPair&) const = default;
+  auto operator<=>(const MdcPair&) const = default;
+};
+
+/// \brief A disqualifying condition: all pairs must hold for the witness
+/// dominator to dominate the point. Kept sorted by (dim, better).
+using MdcCondition = std::vector<MdcPair>;
+
+/// \brief Per-dimension governing order at an IPO-tree node: the value of a
+/// first-order choice "v ≺ *", or kInvalidValue where the template governs.
+using EffectiveChoices = std::vector<ValueId>;
+
+/// \brief The MDC sets of every point of a template skyline.
+class MdcIndex {
+ public:
+  /// Builds MDC(p) for each p in `skyline` (which must be SKY(template) of
+  /// `data`), scanning candidate dominators from `dominator_pool` — pass
+  /// the numeric-only skyline (see BuildDominatorPool) or any superset of
+  /// it, e.g. all rows.
+  MdcIndex(const Dataset& data, const PreferenceProfile& tmpl,
+           const std::vector<RowId>& skyline,
+           const std::vector<RowId>& dominator_pool);
+
+  /// \brief The lossless dominator pool: per nominal signature, the numeric
+  /// skyline (= the skyline under all-empty nominal preferences).
+  static std::vector<RowId> BuildDominatorPool(const Dataset& data);
+
+  size_t num_points() const { return conditions_.size(); }
+
+  /// \brief Minimal conditions of the i-th skyline point.
+  const std::vector<MdcCondition>& conditions(size_t skyline_idx) const {
+    return conditions_[skyline_idx];
+  }
+
+  /// \brief True iff the i-th skyline point is disqualified at a node with
+  /// the given per-dimension governing orders.
+  bool Disqualified(size_t skyline_idx, const EffectiveChoices& choices) const;
+
+  /// \brief Total number of stored conditions, across points.
+  size_t TotalConditions() const;
+
+  /// \brief Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<MdcCondition>> conditions_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_MDC_MDC_H_

@@ -1,0 +1,114 @@
+#include "order/implicit_preference.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nomsky {
+
+Result<ImplicitPreference> ImplicitPreference::Make(size_t cardinality,
+                                                    std::vector<ValueId> choices) {
+  ImplicitPreference pref(cardinality);
+  pref.position_.assign(cardinality, -1);
+  for (size_t i = 0; i < choices.size(); ++i) {
+    ValueId v = choices[i];
+    if (v >= cardinality) {
+      return Status::OutOfRange("choice value id ", v, " out of domain [0, ",
+                                cardinality, ")");
+    }
+    if (pref.position_[v] >= 0) {
+      return Status::InvalidArgument("value id ", v,
+                                     " listed twice in implicit preference");
+    }
+    pref.position_[v] = static_cast<int>(i);
+  }
+  pref.choices_ = std::move(choices);
+  return pref;
+}
+
+Result<ImplicitPreference> ImplicitPreference::Parse(const Dimension& dim,
+                                                     const std::string& text) {
+  if (!dim.is_nominal()) {
+    return Status::InvalidArgument("dimension '", dim.name(),
+                                   "' is not nominal");
+  }
+  // Normalize the UTF-8 precedence sign to '<'.
+  std::string norm;
+  for (size_t i = 0; i < text.size(); ++i) {
+    // "≺" is E2 89 BA; accept any 3-byte sequence starting with E2 here by
+    // checking explicitly for the prec character.
+    if (i + 2 < text.size() && static_cast<unsigned char>(text[i]) == 0xE2 &&
+        static_cast<unsigned char>(text[i + 1]) == 0x89 &&
+        static_cast<unsigned char>(text[i + 2]) == 0xBA) {
+      norm += '<';
+      i += 2;
+    } else {
+      norm += text[i];
+    }
+  }
+  std::vector<ValueId> choices;
+  for (const std::string& raw : Split(norm, '<')) {
+    std::string token = Trim(raw);
+    if (token.empty()) {
+      return Status::InvalidArgument("empty entry in preference '", text, "'");
+    }
+    if (token == "*") break;  // "*" terminates the list
+    NOMSKY_ASSIGN_OR_RETURN(ValueId v, dim.ValueIdOf(token));
+    choices.push_back(v);
+  }
+  return Make(dim.cardinality(), std::move(choices));
+}
+
+ImplicitPreference ImplicitPreference::Prefix(size_t x) const {
+  if (x >= choices_.size()) return *this;
+  std::vector<ValueId> sub(choices_.begin(), choices_.begin() + x);
+  return Make(cardinality_, std::move(sub)).ValueOrDie();
+}
+
+PartialOrder ImplicitPreference::ToPartialOrder() const {
+  PartialOrder order(cardinality_);
+  for (const OrderPair& p : Pairs()) {
+    NOMSKY_CHECK_OK(order.AddPair(p.better, p.worse));
+  }
+  return order;
+}
+
+std::vector<OrderPair> ImplicitPreference::Pairs() const {
+  std::vector<OrderPair> out;
+  if (choices_.empty()) return out;
+  out.reserve(choices_.size() * cardinality_);
+  for (size_t i = 0; i < choices_.size(); ++i) {
+    // Listed value v_i is preferred to every later choice and to every
+    // unlisted value.
+    for (size_t j = i + 1; j < choices_.size(); ++j) {
+      out.push_back(OrderPair{choices_[i], choices_[j]});
+    }
+    for (ValueId w = 0; w < cardinality_; ++w) {
+      if (position_[w] < 0) out.push_back(OrderPair{choices_[i], w});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ImplicitPreference::IsRefinementOf(const ImplicitPreference& weaker) const {
+  if (cardinality_ != weaker.cardinality_) return false;
+  // Every pair the weaker preference asserts must hold here too.
+  for (ValueId u : weaker.choices_) {
+    for (ValueId v = 0; v < cardinality_; ++v) {
+      if (u == v) continue;
+      if (weaker.Compare(u, v) < 0 && Compare(u, v) >= 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string ImplicitPreference::ToString(const Dimension& dim) const {
+  if (choices_.empty()) return "*";
+  std::vector<std::string> parts;
+  for (ValueId v : choices_) parts.push_back(dim.ValueName(v));
+  parts.push_back("*");
+  return Join(parts, "<");
+}
+
+}  // namespace nomsky

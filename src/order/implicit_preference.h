@@ -1,0 +1,111 @@
+// ImplicitPreference: the paper's Definition 2.
+//
+// A user does not order all values of a nominal attribute; they list their
+// top-x favourite values in order: "v1 ≺ v2 ≺ ... ≺ vx ≺ *". The listed
+// values are each preferred to every unlisted value; two distinct unlisted
+// values stay incomparable. P(R̃) expands the shorthand into the explicit
+// partial order {(vi, vj) | i < j, i ≤ x, j ≤ k}.
+
+#ifndef NOMSKY_ORDER_IMPLICIT_PREFERENCE_H_
+#define NOMSKY_ORDER_IMPLICIT_PREFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/types.h"
+#include "order/partial_order.h"
+
+namespace nomsky {
+
+/// \brief Implicit preference "v1 ≺ v2 ≺ ... ≺ vx ≺ *" on one nominal
+/// dimension of cardinality `cardinality()`.
+///
+/// An empty choice list is the "no special preference" of the paper (Bob in
+/// Table 2): every pair of distinct values is incomparable.
+class ImplicitPreference {
+ public:
+  /// Creates the empty (order-0) preference over a domain of `cardinality`.
+  explicit ImplicitPreference(size_t cardinality = 0)
+      : cardinality_(cardinality) {}
+
+  /// \brief Builds a preference from an ordered choice list. Choices must
+  /// be distinct and within the domain.
+  static Result<ImplicitPreference> Make(size_t cardinality,
+                                         std::vector<ValueId> choices);
+
+  /// \brief Parses "T<M<*" / "T ≺ M ≺ *" style strings against a nominal
+  /// dimension's dictionary. The trailing "*" is optional; "*" alone or ""
+  /// gives the empty preference. Both '<' and the UTF-8 '≺' separate
+  /// entries.
+  static Result<ImplicitPreference> Parse(const Dimension& dim,
+                                          const std::string& text);
+
+  size_t cardinality() const { return cardinality_; }
+
+  /// \brief x, the number of explicitly listed values ("x-th order").
+  size_t order() const { return choices_.size(); }
+
+  bool IsEmpty() const { return choices_.empty(); }
+
+  /// The listed values, best first.
+  const std::vector<ValueId>& choices() const { return choices_; }
+
+  /// \brief True iff v is one of the listed values.
+  bool ContainsValue(ValueId v) const { return PositionOf(v) >= 0; }
+
+  /// \brief 0-based position of v among the choices, or -1 if unlisted.
+  int PositionOf(ValueId v) const {
+    return v < position_.size() ? position_[v] : -1;
+  }
+
+  /// \brief The preference truncated to its first `x` choices
+  /// ("v1 ≺ ... ≺ vx ≺ *"). x may exceed order(), clamping.
+  ImplicitPreference Prefix(size_t x) const;
+
+  /// \brief P(R̃): the expanded explicit partial order of Definition 2.
+  PartialOrder ToPartialOrder() const;
+
+  /// \brief The expanded pairs of P(R̃) without building a matrix.
+  std::vector<OrderPair> Pairs() const;
+
+  /// \brief Refinement test: P(weaker) ⊆ P(*this). In the common case this
+  /// is "weaker's choice list is a prefix of ours", but e.g. "v0 ≺ *" over a
+  /// two-value domain already contains the full order "v0 ≺ v1", so the
+  /// test checks pair containment semantically (O(order · cardinality)).
+  bool IsRefinementOf(const ImplicitPreference& weaker) const;
+
+  /// \brief Per-dimension comparison of two values under this preference.
+  /// Returns <0 if a ≺ b, >0 if b ≺ a, 0 if a == b or incomparable; use
+  /// Comparable() to distinguish the last two.
+  int Compare(ValueId a, ValueId b) const {
+    if (a == b) return 0;
+    int pa = PositionOf(a), pb = PositionOf(b);
+    if (pa < 0 && pb < 0) return 0;  // both unlisted: incomparable
+    if (pa < 0) return 1;            // b listed, a not: b better
+    if (pb < 0) return -1;
+    return pa < pb ? -1 : 1;
+  }
+
+  /// \brief True iff a and b are ordered (or equal) under this preference.
+  bool Comparable(ValueId a, ValueId b) const {
+    return a == b || PositionOf(a) >= 0 || PositionOf(b) >= 0;
+  }
+
+  /// \brief Renders "T<M<*" against the dimension's dictionary.
+  std::string ToString(const Dimension& dim) const;
+
+  bool operator==(const ImplicitPreference& other) const {
+    return cardinality_ == other.cardinality_ && choices_ == other.choices_;
+  }
+
+ private:
+  size_t cardinality_;
+  std::vector<ValueId> choices_;
+  std::vector<int> position_;  // value id -> 0-based choice position or -1
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_ORDER_IMPLICIT_PREFERENCE_H_

@@ -1,0 +1,105 @@
+#include "order/partial_order.h"
+
+#include <algorithm>
+
+namespace nomsky {
+
+PartialOrder::PartialOrder(size_t cardinality)
+    : worse_than_(cardinality, DynamicBitset(cardinality)) {}
+
+Result<PartialOrder> PartialOrder::FromPairs(size_t cardinality,
+                                             const std::vector<OrderPair>& pairs) {
+  PartialOrder order(cardinality);
+  for (const auto& p : pairs) {
+    NOMSKY_RETURN_NOT_OK(order.AddPair(p.better, p.worse));
+  }
+  return order;
+}
+
+Status PartialOrder::AddPair(ValueId u, ValueId v) {
+  size_t c = cardinality();
+  if (u >= c || v >= c) {
+    return Status::InvalidArgument("value id out of domain [0, ", c, ")");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("a value cannot be preferred to itself");
+  }
+  if (Contains(v, u)) {
+    return Status::Conflict("adding ", u, " ≺ ", v,
+                            " contradicts existing ", v, " ≺ ", u);
+  }
+  if (Contains(u, v)) return Status::OK();
+
+  // Incremental transitive closure: for every x with x ⪯ u, x inherits
+  // everything ⪰ v (v itself plus worse_than_[v]).
+  DynamicBitset new_worse = worse_than_[v];
+  new_worse.set(v);
+  for (ValueId x = 0; x < c; ++x) {
+    if (x == u || worse_than_[x].test(u)) {
+      worse_than_[x] |= new_worse;
+    }
+  }
+  return Status::OK();
+}
+
+size_t PartialOrder::NumPairs() const {
+  size_t n = 0;
+  for (const auto& row : worse_than_) n += row.count();
+  return n;
+}
+
+bool PartialOrder::IsTotal() const {
+  size_t c = cardinality();
+  return NumPairs() == c * (c - 1) / 2;
+}
+
+bool PartialOrder::IsRefinementOf(const PartialOrder& weaker) const {
+  if (cardinality() != weaker.cardinality()) return false;
+  for (ValueId u = 0; u < cardinality(); ++u) {
+    // weaker's row must be a subset of ours.
+    DynamicBitset missing = weaker.worse_than_[u];
+    missing.AndNot(worse_than_[u]);
+    if (missing.any()) return false;
+  }
+  return true;
+}
+
+bool PartialOrder::ConflictFreeWith(const PartialOrder& other) const {
+  if (cardinality() != other.cardinality()) return false;
+  for (ValueId u = 0; u < cardinality(); ++u) {
+    bool clash = false;
+    worse_than_[u].ForEachSetBit([&](size_t v) {
+      if (other.Contains(static_cast<ValueId>(v), u)) clash = true;
+    });
+    if (clash) return false;
+  }
+  return true;
+}
+
+Result<PartialOrder> PartialOrder::UnionWith(const PartialOrder& other) const {
+  if (cardinality() != other.cardinality()) {
+    return Status::InvalidArgument("union of orders over different domains");
+  }
+  PartialOrder out = *this;
+  for (ValueId u = 0; u < cardinality(); ++u) {
+    Status st = Status::OK();
+    other.worse_than_[u].ForEachSetBit([&](size_t v) {
+      if (st.ok()) st = out.AddPair(u, static_cast<ValueId>(v));
+    });
+    NOMSKY_RETURN_NOT_OK(st);
+  }
+  return out;
+}
+
+std::vector<OrderPair> PartialOrder::Pairs() const {
+  std::vector<OrderPair> out;
+  for (ValueId u = 0; u < cardinality(); ++u) {
+    worse_than_[u].ForEachSetBit([&](size_t v) {
+      out.push_back(OrderPair{u, static_cast<ValueId>(v)});
+    });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nomsky

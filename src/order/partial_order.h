@@ -1,0 +1,89 @@
+// PartialOrder: a strict partial order over the value ids of one nominal
+// dimension, kept transitively closed.
+//
+// This is the "partial order model" of Wong et al., Section 2: a user
+// preference on a nominal attribute is a set R of binary orders (u, v)
+// meaning u ≺ v ("u preferred to v"). The class maintains the transitive
+// closure as a c×c bit matrix, so Contains() is O(1) and refinement /
+// conflict tests are word-parallel.
+
+#ifndef NOMSKY_ORDER_PARTIAL_ORDER_H_
+#define NOMSKY_ORDER_PARTIAL_ORDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nomsky {
+
+/// \brief One binary preference: better ≺ worse.
+struct OrderPair {
+  ValueId better;
+  ValueId worse;
+
+  bool operator==(const OrderPair&) const = default;
+  auto operator<=>(const OrderPair&) const = default;
+};
+
+/// \brief Strict partial order on {0, ..., cardinality-1}, transitively
+/// closed at all times.
+class PartialOrder {
+ public:
+  /// Creates the empty order over a domain of `cardinality` values.
+  explicit PartialOrder(size_t cardinality);
+
+  /// \brief Builds an order from explicit pairs, transitively closing.
+  /// Fails with Conflict if the pairs induce a cycle.
+  static Result<PartialOrder> FromPairs(size_t cardinality,
+                                        const std::vector<OrderPair>& pairs);
+
+  size_t cardinality() const { return worse_than_.size(); }
+
+  /// \brief True iff u ≺ v is in the (closed) order.
+  bool Contains(ValueId u, ValueId v) const {
+    return u < cardinality() && v < cardinality() && worse_than_[u].test(v);
+  }
+
+  /// \brief Adds u ≺ v and re-closes transitively. Fails with Conflict if
+  /// v ⪯ u already holds (would create a cycle), with InvalidArgument if
+  /// u == v or out of domain. Adding an already-present pair is a no-op.
+  Status AddPair(ValueId u, ValueId v);
+
+  /// \brief Number of pairs in the closed relation.
+  size_t NumPairs() const;
+
+  /// \brief True iff the order is empty.
+  bool IsEmpty() const { return NumPairs() == 0; }
+
+  /// \brief True iff every distinct pair of values is ordered.
+  bool IsTotal() const;
+
+  /// \brief Containment: every pair of `weaker` is in *this. In the paper's
+  /// terms, *this is a refinement of `weaker` (weaker ⊆ this).
+  bool IsRefinementOf(const PartialOrder& weaker) const;
+
+  /// \brief Definition 1: no u, v with (u,v) in this and (v,u) in other.
+  bool ConflictFreeWith(const PartialOrder& other) const;
+
+  /// \brief Union of two orders, transitively closed. Fails with Conflict
+  /// if the union contains a cycle (the orders are not conflict-free, or
+  /// their union chains into one).
+  Result<PartialOrder> UnionWith(const PartialOrder& other) const;
+
+  /// \brief All pairs of the closed relation, sorted.
+  std::vector<OrderPair> Pairs() const;
+
+  bool operator==(const PartialOrder& other) const = default;
+
+ private:
+  // worse_than_[u].test(v)  <=>  u ≺ v.
+  std::vector<DynamicBitset> worse_than_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_ORDER_PARTIAL_ORDER_H_

@@ -1,0 +1,105 @@
+#include "order/preference_profile.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nomsky {
+
+PreferenceProfile::PreferenceProfile(const Schema& schema) {
+  prefs_.reserve(schema.num_nominal());
+  for (DimId d : schema.nominal_dims()) {
+    prefs_.emplace_back(schema.dim(d).cardinality());
+  }
+}
+
+Result<PreferenceProfile> PreferenceProfile::Parse(
+    const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& prefs) {
+  PreferenceProfile profile(schema);
+  for (const auto& [dim_name, text] : prefs) {
+    NOMSKY_ASSIGN_OR_RETURN(DimId d, schema.FindDim(dim_name));
+    const Dimension& dim = schema.dim(d);
+    if (!dim.is_nominal()) {
+      return Status::InvalidArgument("dimension '", dim_name,
+                                     "' is numeric; preferences apply to "
+                                     "nominal dimensions only");
+    }
+    NOMSKY_ASSIGN_OR_RETURN(ImplicitPreference pref,
+                            ImplicitPreference::Parse(dim, text));
+    profile.prefs_[schema.typed_index(d)] = std::move(pref);
+  }
+  return profile;
+}
+
+Status PreferenceProfile::SetPref(size_t nominal_idx, ImplicitPreference pref) {
+  if (nominal_idx >= prefs_.size()) {
+    return Status::OutOfRange("nominal index ", nominal_idx, " out of range");
+  }
+  if (pref.cardinality() != prefs_[nominal_idx].cardinality()) {
+    return Status::InvalidArgument(
+        "preference domain size ", pref.cardinality(),
+        " does not match dimension cardinality ",
+        prefs_[nominal_idx].cardinality());
+  }
+  prefs_[nominal_idx] = std::move(pref);
+  return Status::OK();
+}
+
+size_t PreferenceProfile::order() const {
+  size_t x = 0;
+  for (const auto& p : prefs_) x = std::max(x, p.order());
+  return x;
+}
+
+bool PreferenceProfile::IsEmpty() const {
+  return std::all_of(prefs_.begin(), prefs_.end(),
+                     [](const ImplicitPreference& p) { return p.IsEmpty(); });
+}
+
+bool PreferenceProfile::IsRefinementOf(const PreferenceProfile& weaker) const {
+  if (prefs_.size() != weaker.prefs_.size()) return false;
+  for (size_t i = 0; i < prefs_.size(); ++i) {
+    if (!prefs_[i].IsRefinementOf(weaker.prefs_[i])) return false;
+  }
+  return true;
+}
+
+Result<PreferenceProfile> PreferenceProfile::CombineWithTemplate(
+    const PreferenceProfile& tmpl) const {
+  if (prefs_.size() != tmpl.prefs_.size()) {
+    return Status::InvalidArgument("query and template have different arity");
+  }
+  PreferenceProfile out = *this;
+  for (size_t i = 0; i < prefs_.size(); ++i) {
+    if (prefs_[i].IsEmpty()) {
+      out.prefs_[i] = tmpl.prefs_[i];
+    } else if (!prefs_[i].IsRefinementOf(tmpl.prefs_[i])) {
+      return Status::Conflict(
+          "query preference on nominal dimension ", i,
+          " does not refine the template (template choices must be a prefix "
+          "of the query's)");
+    }
+  }
+  return out;
+}
+
+size_t PreferenceProfile::NumExpandedPairs() const {
+  size_t n = 0;
+  for (const auto& p : prefs_) {
+    size_t x = p.order(), k = p.cardinality();
+    if (x > 0) n += x * k - x * (x + 1) / 2;  // |P(R̃_i)| from Definition 2
+  }
+  return n;
+}
+
+std::string PreferenceProfile::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < schema.nominal_dims().size(); ++i) {
+    const Dimension& dim = schema.dim(schema.nominal_dims()[i]);
+    parts.push_back(dim.name() + ": " + prefs_[i].ToString(dim));
+  }
+  return Join(parts, "; ");
+}
+
+}  // namespace nomsky

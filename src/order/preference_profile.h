@@ -1,0 +1,78 @@
+// PreferenceProfile: the per-query bundle R̃' = (R̃'_1, ..., R̃'_m') of
+// implicit preferences, one per nominal dimension (numeric dimensions keep
+// their fixed schema orientation).
+//
+// A profile doubles as the *template* R̃ of Section 2: the universal orders
+// every user agrees on. A user query is validated as a refinement of the
+// template with CombineWithTemplate().
+
+#ifndef NOMSKY_ORDER_PREFERENCE_PROFILE_H_
+#define NOMSKY_ORDER_PREFERENCE_PROFILE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "order/implicit_preference.h"
+
+namespace nomsky {
+
+/// \brief Implicit preferences for all nominal dimensions of a schema,
+/// indexed by *typed* nominal index (position among nominal dims).
+class PreferenceProfile {
+ public:
+  PreferenceProfile() = default;
+
+  /// Creates the all-empty profile ("no special preference" everywhere).
+  explicit PreferenceProfile(const Schema& schema);
+
+  /// \brief Parses named preferences, e.g.
+  /// {{"hotel_group", "M<H<*"}, {"airline", "G<*"}}. Unmentioned nominal
+  /// dimensions get the empty preference.
+  static Result<PreferenceProfile> Parse(
+      const Schema& schema,
+      const std::vector<std::pair<std::string, std::string>>& prefs);
+
+  size_t num_nominal() const { return prefs_.size(); }
+
+  const ImplicitPreference& pref(size_t nominal_idx) const {
+    return prefs_[nominal_idx];
+  }
+
+  /// \brief Replaces the preference of one nominal dimension. Cardinality
+  /// must match the existing slot.
+  Status SetPref(size_t nominal_idx, ImplicitPreference pref);
+
+  /// \brief order(R̃) = max_i order(R̃_i) (paper, after Definition 2).
+  size_t order() const;
+
+  /// \brief True iff every dimension has the empty preference.
+  bool IsEmpty() const;
+
+  /// \brief True iff this profile refines `weaker` in every dimension
+  /// (Property 1).
+  bool IsRefinementOf(const PreferenceProfile& weaker) const;
+
+  /// \brief Resolves a user query against the template: dimensions the
+  /// query leaves empty inherit the template's preference; dimensions it
+  /// specifies must refine the template's (else Conflict).
+  Result<PreferenceProfile> CombineWithTemplate(
+      const PreferenceProfile& tmpl) const;
+
+  /// \brief Total number of explicit binary orders |P(R̃)| across dims.
+  size_t NumExpandedPairs() const;
+
+  /// \brief Renders e.g. "hotel_group: M<H<*; airline: *".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const PreferenceProfile& other) const = default;
+
+ private:
+  std::vector<ImplicitPreference> prefs_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_ORDER_PREFERENCE_PROFILE_H_

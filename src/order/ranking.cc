@@ -1,0 +1,42 @@
+#include "order/ranking.h"
+
+namespace nomsky {
+
+RankTable::RankTable(const Schema& schema, const PreferenceProfile& profile)
+    : schema_(&schema) {
+  ranks_.resize(schema.num_nominal());
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    const Dimension& dim = schema.dim(schema.nominal_dims()[j]);
+    size_t c = dim.cardinality();
+    // Default rank: the cardinality (paper Section 4.2).
+    ranks_[j].assign(c, static_cast<uint32_t>(c));
+    const ImplicitPreference& pref = profile.pref(j);
+    for (size_t pos = 0; pos < pref.order(); ++pos) {
+      ranks_[j][pref.choices()[pos]] = static_cast<uint32_t>(pos + 1);
+    }
+  }
+  numeric_sign_.resize(schema.num_numeric());
+  for (size_t i = 0; i < schema.num_numeric(); ++i) {
+    const Dimension& dim = schema.dim(schema.numeric_dims()[i]);
+    numeric_sign_[i] =
+        dim.direction() == SortDirection::kMinBetter ? 1.0 : -1.0;
+  }
+}
+
+double RankTable::NominalScore(const Dataset& data, RowId row) const {
+  double s = 0.0;
+  for (size_t j = 0; j < ranks_.size(); ++j) {
+    s += ranks_[j][data.nominal_column(j)[row]];
+  }
+  return s;
+}
+
+double RankTable::Score(const Dataset& data, RowId row) const {
+  double s = NominalScore(data, row);
+  for (size_t i = 0; i < numeric_sign_.size(); ++i) {
+    s += numeric_sign_[i] * data.numeric_column(i)[row];
+  }
+  return s;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,56 @@
+// RankTable: the ranking function r(v) and preference score f(p) of
+// Section 4.2.
+//
+// For a nominal dimension of cardinality c_i, every value defaults to rank
+// c_i ("unlisted"); a preference v1 ≺ ... ≺ vx ≺ * assigns r(v_j) = j.
+// The score of a point is f(p) = Σ_i r(p.D_i) over nominal dimensions plus
+// the oriented numeric values — strictly monotone under dominance
+// (p ≺ q ⟹ f(p) < f(q)), which is exactly what SFS presorting needs.
+
+#ifndef NOMSKY_ORDER_RANKING_H_
+#define NOMSKY_ORDER_RANKING_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/schema.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief Materialized r(v) tables for one preference profile, plus the
+/// score function f.
+class RankTable {
+ public:
+  /// Builds the rank tables for `profile` against `schema`.
+  RankTable(const Schema& schema, const PreferenceProfile& profile);
+
+  /// \brief r(v) for the j-th nominal dimension (typed index).
+  uint32_t rank(size_t nominal_idx, ValueId v) const {
+    return ranks_[nominal_idx][v];
+  }
+
+  /// \brief Contribution of all nominal dimensions to f(row).
+  double NominalScore(const Dataset& data, RowId row) const;
+
+  /// \brief f(row): oriented numeric sum + nominal rank sum.
+  double Score(const Dataset& data, RowId row) const;
+
+  /// \brief Recomputes only the nominal part given another table; used by
+  /// Adaptive SFS to re-score affected points: new = old - OldNominal +
+  /// NewNominal without touching numeric columns.
+  double RescoreNominal(const RankTable& old_table, double old_score,
+                        const Dataset& data, RowId row) const {
+    return old_score - old_table.NominalScore(data, row) +
+           NominalScore(data, row);
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<std::vector<uint32_t>> ranks_;  // [nominal_idx][value]
+  std::vector<double> numeric_sign_;          // +1 min-better, -1 max-better
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_ORDER_RANKING_H_

@@ -1,0 +1,37 @@
+#include "skyline/bnl.h"
+
+#include <algorithm>
+
+namespace nomsky {
+
+std::vector<RowId> BnlSkyline(const DominanceComparator& cmp,
+                              const std::vector<RowId>& candidates,
+                              BnlStats* stats) {
+  std::vector<RowId> window;
+  BnlStats local;
+  for (RowId p : candidates) {
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t i = 0; i < window.size(); ++i) {
+      ++local.dominance_tests;
+      DomResult r = cmp.Compare(window[i], p);
+      if (r == DomResult::kLeftDominates) {
+        dominated = true;
+        // Everything not yet inspected stays.
+        while (i < window.size()) window[keep++] = window[i++];
+        break;
+      }
+      if (r != DomResult::kRightDominates) {
+        window[keep++] = window[i];  // incomparable or equal: keep
+      }
+      // kRightDominates: p evicts window[i] (skip it).
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(p);
+    local.max_window = std::max(local.max_window, window.size());
+  }
+  if (stats != nullptr) *stats = local;
+  return window;
+}
+
+}  // namespace nomsky

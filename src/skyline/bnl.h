@@ -1,0 +1,33 @@
+// Block-Nested-Loop skyline (Börzsönyi, Kossmann, Stocker, ICDE 2001).
+//
+// Maintains a window of incomparable-so-far tuples; each incoming tuple is
+// dropped if dominated, replaces window members it dominates, and is added
+// otherwise. The in-memory variant (the whole window fits) needs a single
+// pass.
+
+#ifndef NOMSKY_SKYLINE_BNL_H_
+#define NOMSKY_SKYLINE_BNL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "dominance/dominance.h"
+
+namespace nomsky {
+
+/// \brief Statistics of one BNL run, for the algorithm-comparison bench.
+struct BnlStats {
+  size_t dominance_tests = 0;
+  size_t max_window = 0;
+};
+
+/// \brief BNL skyline of `candidates` under `cmp`. Duplicated tuples
+/// (equal in every dimension) are all retained, matching the skyline
+/// definition (neither dominates the other).
+std::vector<RowId> BnlSkyline(const DominanceComparator& cmp,
+                              const std::vector<RowId>& candidates,
+                              BnlStats* stats = nullptr);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_SKYLINE_BNL_H_

@@ -1,0 +1,78 @@
+#include "skyline/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+
+double AnalyticIndependentEstimate(size_t num_rows, const Schema& schema,
+                                   const PreferenceProfile& profile) {
+  if (num_rows == 0) return 0.0;
+  // Effective totally-ordered dimensionality.
+  double d_eff = static_cast<double>(schema.num_numeric());
+  double group_factor = 1.0;
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    size_t x = profile.pref(j).order();
+    size_t unlisted = c - std::min(x, c);
+    if (unlisted <= 1) {
+      // Fully (or all-but-one) ordered: behaves like one more total order.
+      d_eff += 1.0;
+    } else {
+      // x listed values form a chain; the unlisted ones are mutually
+      // incomparable groups that each keep their own skyline.
+      d_eff += 1.0;
+      group_factor *= static_cast<double>(unlisted) / 2.0 + 0.5;
+    }
+  }
+  double ln_n = std::log(static_cast<double>(num_rows));
+  double estimate = 1.0;
+  for (double k = 1.0; k < d_eff; k += 1.0) {
+    estimate *= ln_n / k;
+  }
+  estimate *= group_factor;
+  return std::min(estimate, static_cast<double>(num_rows));
+}
+
+double SampleSkylineEstimate(const Dataset& data,
+                             const PreferenceProfile& profile,
+                             size_t sample_budget, uint64_t seed) {
+  const size_t n = data.num_rows();
+  if (n == 0) return 0.0;
+  sample_budget = std::min(sample_budget, n);
+  if (sample_budget < 16) {
+    // Too small to extrapolate: compute exactly on everything we may touch.
+    std::vector<RowId> rows = AllRows(n);
+    return static_cast<double>(SfsSkyline(data, profile, rows).size());
+  }
+
+  // One shuffled prefix gives two nested samples.
+  Rng rng(seed);
+  std::vector<RowId> shuffled = AllRows(n);
+  rng.Shuffle(&shuffled);
+
+  const size_t n1 = sample_budget / 4, n2 = sample_budget / 2;
+  std::vector<RowId> s1(shuffled.begin(), shuffled.begin() + n1);
+  std::vector<RowId> s2(shuffled.begin(), shuffled.begin() + n2);
+  double k1 = static_cast<double>(SfsSkyline(data, profile, s1).size());
+  double k2 = static_cast<double>(SfsSkyline(data, profile, s2).size());
+  k1 = std::max(k1, 1.0);
+  k2 = std::max(k2, 1.0);
+
+  // Fit |SKY(N)| = a (ln N)^b through the two points and evaluate at N=n.
+  double l1 = std::log(static_cast<double>(std::max<size_t>(n1, 3)));
+  double l2 = std::log(static_cast<double>(std::max<size_t>(n2, 3)));
+  double b = (std::log(k2) - std::log(k1)) / (std::log(l2) - std::log(l1));
+  // Clamp the exponent: skylines grow sublinearly but the two-point fit
+  // can be noisy on small samples.
+  b = std::clamp(b, 0.0, 12.0);
+  double a = k2 / std::pow(l2, b);
+  double ln_n = std::log(static_cast<double>(n));
+  double estimate = a * std::pow(ln_n, b);
+  return std::clamp(estimate, 1.0, static_cast<double>(n));
+}
+
+}  // namespace nomsky

@@ -1,0 +1,42 @@
+// Skyline cardinality estimation, after Chaudhuri, Dalvi, Kaushik (ICDE
+// 2006) — the cost-estimation line of work the paper cites as [4].
+//
+// Two estimators:
+//  * AnalyticIndependentEstimate — the classic E[|SKY|] ≈ H_{d-1}(N)
+//    ≈ (ln N)^{d-1} / (d-1)! formula for independent totally-ordered
+//    dimensions, generalized to nominal dimensions by treating a nominal
+//    dimension of cardinality c with an x-th order preference as
+//    contributing its incomparability factor.
+//  * SampleSkylineEstimate — distribution-free: computes the skyline of a
+//    random sample and scales via the log-power model fitted to two sample
+//    sizes. Used by query planners to decide between engines.
+
+#ifndef NOMSKY_SKYLINE_ESTIMATOR_H_
+#define NOMSKY_SKYLINE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief Closed-form estimate of |SKY| for independent dimensions:
+/// (ln N)^{d_eff - 1} / (d_eff - 1)! where d_eff counts numeric dimensions
+/// plus, per nominal dimension, 1 if a preference fully orders it and a
+/// multiplicative "group" factor (number of mutually incomparable unlisted
+/// values) otherwise. Coarse by design — an order-of-magnitude tool.
+double AnalyticIndependentEstimate(size_t num_rows, const Schema& schema,
+                                   const PreferenceProfile& profile);
+
+/// \brief Sampling-based estimate: skylines of two nested random samples
+/// (n/4 and n/2 of `sample_budget`) are extrapolated with the power-of-log
+/// model |SKY(N)| = a (ln N)^b. Deterministic per seed.
+double SampleSkylineEstimate(const Dataset& data,
+                             const PreferenceProfile& profile,
+                             size_t sample_budget, uint64_t seed);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_SKYLINE_ESTIMATOR_H_

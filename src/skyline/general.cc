@@ -1,0 +1,86 @@
+#include "skyline/general.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+std::vector<uint32_t> TopologicalRanks(const PartialOrder& order) {
+  const size_t c = order.cardinality();
+  std::vector<uint32_t> rank(c, 0);
+
+  // rank(v) = 1 + max rank of strict predecessors. The closure matrix
+  // already gives all predecessors, so a fixpoint over at most c rounds
+  // (the longest chain length) suffices — domains are small.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ValueId v = 0; v < c; ++v) {
+      uint32_t best = 1;
+      for (ValueId u = 0; u < c; ++u) {
+        if (u != v && order.Contains(u, v)) {
+          best = std::max(best, rank[u] + 1);
+        }
+      }
+      if (best != rank[v]) {
+        NOMSKY_CHECK(best <= c) << "cycle in partial order";
+        rank[v] = best;
+        changed = true;
+      }
+    }
+  }
+  return rank;
+}
+
+std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
+                                     const std::vector<PartialOrder>& orders,
+                                     const std::vector<RowId>& candidates) {
+  const Schema& schema = data.schema();
+  NOMSKY_CHECK(orders.size() == schema.num_nominal());
+
+  std::vector<std::vector<uint32_t>> ranks;
+  ranks.reserve(orders.size());
+  for (const PartialOrder& order : orders) {
+    ranks.push_back(TopologicalRanks(order));
+  }
+  std::vector<double> sign(schema.num_numeric());
+  for (size_t i = 0; i < schema.num_numeric(); ++i) {
+    sign[i] = schema.dim(schema.numeric_dims()[i]).direction() ==
+                      SortDirection::kMinBetter
+                  ? 1.0
+                  : -1.0;
+  }
+
+  auto score = [&](RowId r) {
+    double s = 0.0;
+    for (size_t i = 0; i < sign.size(); ++i) {
+      s += sign[i] * data.numeric_column(i)[r];
+    }
+    for (size_t j = 0; j < ranks.size(); ++j) {
+      s += ranks[j][data.nominal_column(j)[r]];
+    }
+    return s;
+  };
+
+  std::vector<std::pair<double, RowId>> sorted;
+  sorted.reserve(candidates.size());
+  for (RowId r : candidates) sorted.emplace_back(score(r), r);
+  std::sort(sorted.begin(), sorted.end());
+
+  GeneralDominanceComparator cmp(data, orders);
+  std::vector<RowId> skyline;
+  for (const auto& [s, r] : sorted) {
+    bool dominated = false;
+    for (RowId member : skyline) {
+      if (cmp.Compare(member, r) == DomResult::kLeftDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(r);
+  }
+  return skyline;
+}
+
+}  // namespace nomsky

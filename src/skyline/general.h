@@ -1,0 +1,35 @@
+// Skyline computation under the GENERAL partial-order model of Section 2 —
+// arbitrary per-dimension partial orders, of which implicit preferences
+// are the special case the engines optimize for. Provides the
+// topological ranking that makes SFS presorting work for any strict
+// partial order, and an SFS variant over GeneralDominanceComparator.
+
+#ifndef NOMSKY_SKYLINE_GENERAL_H_
+#define NOMSKY_SKYLINE_GENERAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "dominance/dominance.h"
+#include "order/partial_order.h"
+
+namespace nomsky {
+
+/// \brief Longest-chain layering of a strict partial order: rank(v) =
+/// 1 + max rank over strict predecessors (1 for minimal values). Monotone:
+/// u ≺ v implies rank(u) < rank(v), which is exactly the SFS presort
+/// requirement; incomparable values may share a rank.
+std::vector<uint32_t> TopologicalRanks(const PartialOrder& order);
+
+/// \brief SFS under arbitrary per-dimension partial orders: presort by
+/// oriented numeric values + topological ranks, then extract with the
+/// general dominance comparator. `orders[j]` governs the j-th nominal
+/// dimension. Returns skyline rows in emission (score) order.
+std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
+                                     const std::vector<PartialOrder>& orders,
+                                     const std::vector<RowId>& candidates);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_SKYLINE_GENERAL_H_

@@ -1,0 +1,49 @@
+#include "skyline/sfs.h"
+
+#include <algorithm>
+
+namespace nomsky {
+
+std::vector<ScoredRow> PresortByScore(const Dataset& data,
+                                      const RankTable& ranks,
+                                      const std::vector<RowId>& candidates) {
+  std::vector<ScoredRow> scored;
+  scored.reserve(candidates.size());
+  for (RowId r : candidates) {
+    scored.push_back(ScoredRow{ranks.Score(data, r), r});
+  }
+  std::sort(scored.begin(), scored.end());
+  return scored;
+}
+
+std::vector<RowId> SfsExtract(const DominanceComparator& cmp,
+                              const std::vector<ScoredRow>& sorted,
+                              SfsStats* stats) {
+  std::vector<RowId> skyline;
+  SfsStats local;
+  for (const ScoredRow& sr : sorted) {
+    bool dominated = false;
+    for (RowId s : skyline) {
+      ++local.dominance_tests;
+      if (cmp.Compare(s, sr.row) == DomResult::kLeftDominates) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(sr.row);
+  }
+  if (stats != nullptr) *stats = local;
+  return skyline;
+}
+
+std::vector<RowId> SfsSkyline(const Dataset& data,
+                              const PreferenceProfile& profile,
+                              const std::vector<RowId>& candidates,
+                              SfsStats* stats) {
+  RankTable ranks(data.schema(), profile);
+  std::vector<ScoredRow> sorted = PresortByScore(data, ranks, candidates);
+  DominanceComparator cmp(data, profile);
+  return SfsExtract(cmp, sorted, stats);
+}
+
+}  // namespace nomsky

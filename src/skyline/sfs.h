@@ -1,0 +1,54 @@
+// Sort-First Skyline (Chomicki, Godfrey, Gryz, Liang, ICDE 2003), adapted
+// to implicit preferences via the rank-based score f of Section 4.2.
+//
+// Candidates are sorted by f; because p ≺ q implies f(p) < f(q), a point
+// can only be dominated by points sorted strictly before it, so the window
+// holds only confirmed skyline points and the algorithm is progressive:
+// every accepted point is final the moment it is accepted.
+
+#ifndef NOMSKY_SKYLINE_SFS_H_
+#define NOMSKY_SKYLINE_SFS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "dominance/dominance.h"
+#include "order/ranking.h"
+
+namespace nomsky {
+
+/// \brief One presorted candidate: score first so std::sort orders by f,
+/// breaking ties by row id for determinism.
+struct ScoredRow {
+  double score;
+  RowId row;
+
+  auto operator<=>(const ScoredRow&) const = default;
+};
+
+/// \brief Statistics of one SFS run.
+struct SfsStats {
+  size_t dominance_tests = 0;
+};
+
+/// \brief Scores and sorts `candidates` by f under `ranks`.
+std::vector<ScoredRow> PresortByScore(const Dataset& data,
+                                      const RankTable& ranks,
+                                      const std::vector<RowId>& candidates);
+
+/// \brief Skyline extraction over an f-sorted sequence. `sorted` MUST be
+/// ordered by a score function monotone under `cmp`'s dominance relation.
+/// Returns rows in emission (score) order — the progressive order.
+std::vector<RowId> SfsExtract(const DominanceComparator& cmp,
+                              const std::vector<ScoredRow>& sorted,
+                              SfsStats* stats = nullptr);
+
+/// \brief Convenience: presort + extract in one call.
+std::vector<RowId> SfsSkyline(const Dataset& data,
+                              const PreferenceProfile& profile,
+                              const std::vector<RowId>& candidates,
+                              SfsStats* stats = nullptr);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_SKYLINE_SFS_H_

@@ -1,0 +1,15 @@
+#include "skyline/sfs_direct.h"
+
+#include "skyline/naive.h"
+
+namespace nomsky {
+
+Result<std::vector<RowId>> SfsDirect::Query(
+    const PreferenceProfile& query) const {
+  NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
+                          query.CombineWithTemplate(*template_));
+  return SfsSkyline(*data_, effective, AllRows(data_->num_rows()),
+                    &last_stats_);
+}
+
+}  // namespace nomsky

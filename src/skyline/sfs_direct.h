@@ -1,0 +1,41 @@
+// SFS-D: the paper's baseline (Section 5). For every query it re-sorts the
+// ENTIRE dataset by the query's score function and extracts the skyline
+// from scratch — no preprocessing, no storage, and query times that "cannot
+// meet real-time requirements" (Section 5.3). It is the correctness anchor
+// the fast engines are compared against.
+
+#ifndef NOMSKY_SKYLINE_SFS_DIRECT_H_
+#define NOMSKY_SKYLINE_SFS_DIRECT_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "order/preference_profile.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+
+/// \brief Stateless per-query SFS over the full dataset.
+class SfsDirect {
+ public:
+  /// The dataset and template must outlive the engine.
+  SfsDirect(const Dataset& data, const PreferenceProfile& tmpl)
+      : data_(&data), template_(&tmpl) {}
+
+  /// \brief SKY(R̃') for a user preference refining the template.
+  /// Dimensions the query leaves empty inherit the template's preference.
+  Result<std::vector<RowId>> Query(const PreferenceProfile& query) const;
+
+  /// \brief Dominance tests performed by the last Query call.
+  size_t last_dominance_tests() const { return last_stats_.dominance_tests; }
+
+ private:
+  const Dataset* data_;
+  const PreferenceProfile* template_;
+  mutable SfsStats last_stats_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_SKYLINE_SFS_DIRECT_H_

@@ -1,0 +1,102 @@
+#include "skyline/transform.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+std::vector<TwoIntCode> TwoIntEncoding(const ImplicitPreference& pref) {
+  const size_t c = pref.cardinality();
+  const uint32_t x = static_cast<uint32_t>(pref.order());
+  std::vector<TwoIntCode> codes(c);
+  uint32_t unlisted_seen = 0;
+  for (ValueId v = 0; v < c; ++v) {
+    int pos = pref.PositionOf(v);
+    if (pos >= 0) {
+      uint32_t i = static_cast<uint32_t>(pos) + 1;
+      codes[v] = TwoIntCode{i, i};
+    } else {
+      uint32_t k = unlisted_seen++;
+      codes[v] = TwoIntCode{x + 1 + k,
+                            x + 1 + (static_cast<uint32_t>(c) - 1 - k)};
+    }
+  }
+  return codes;
+}
+
+namespace {
+
+// Skyline of a pure-numeric row-major matrix (min-better everywhere),
+// via sort-first-skyline on the coordinate sum.
+std::vector<RowId> NumericSkyline(const std::vector<std::vector<double>>& rows) {
+  const size_t n = rows.size();
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), RowId{0});
+  std::vector<double> score(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (double v : rows[r]) score[r] += v;
+  }
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return score[a] != score[b] ? score[a] < score[b] : a < b;
+  });
+
+  auto dominates = [&](RowId p, RowId q) {
+    bool strict = false;
+    for (size_t d = 0; d < rows[p].size(); ++d) {
+      if (rows[p][d] > rows[q][d]) return false;
+      if (rows[p][d] < rows[q][d]) strict = true;
+    }
+    return strict;
+  };
+
+  std::vector<RowId> skyline;
+  for (RowId r : order) {
+    bool dominated = false;
+    for (RowId s : skyline) {
+      if (dominates(s, r)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(r);
+  }
+  return skyline;
+}
+
+}  // namespace
+
+Result<std::vector<RowId>> TransformEngine::Query(
+    const PreferenceProfile& query) const {
+  NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile eff,
+                          query.CombineWithTemplate(*template_));
+  const Schema& schema = data_->schema();
+  const size_t n = data_->num_rows();
+  const size_t num_numeric = schema.num_numeric();
+  const size_t num_nominal = schema.num_nominal();
+
+  // Materialize the transformed table: oriented numeric columns plus two
+  // integer columns per nominal dimension.
+  std::vector<std::vector<double>> rows(
+      n, std::vector<double>(num_numeric + 2 * num_nominal));
+  for (size_t i = 0; i < num_numeric; ++i) {
+    double sign = schema.dim(schema.numeric_dims()[i]).direction() ==
+                          SortDirection::kMinBetter
+                      ? 1.0
+                      : -1.0;
+    const auto& col = data_->numeric_column(i);
+    for (size_t r = 0; r < n; ++r) rows[r][i] = sign * col[r];
+  }
+  for (size_t j = 0; j < num_nominal; ++j) {
+    std::vector<TwoIntCode> codes = TwoIntEncoding(eff.pref(j));
+    const auto& col = data_->nominal_column(j);
+    for (size_t r = 0; r < n; ++r) {
+      rows[r][num_numeric + 2 * j] = static_cast<double>(codes[col[r]].lo);
+      rows[r][num_numeric + 2 * j + 1] = static_cast<double>(codes[col[r]].hi);
+    }
+  }
+  return NumericSkyline(rows);
+}
+
+}  // namespace nomsky

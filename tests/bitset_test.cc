@@ -1,0 +1,127 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nomsky {
+namespace {
+
+TEST(BitsetTest, StartsClear) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(BitsetTest, ConstructAllSetClearsPadding) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(65);
+  b.SetAll();
+  EXPECT_EQ(b.count(), 65u);
+  b.ClearAll();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitsetTest, AndOrAndNot) {
+  DynamicBitset a(128), b(128);
+  a.set(1);
+  a.set(70);
+  a.set(100);
+  b.set(70);
+  b.set(100);
+  b.set(127);
+
+  DynamicBitset and_ab = a & b;
+  EXPECT_EQ(and_ab.ToIndices(), (std::vector<uint32_t>{70, 100}));
+
+  DynamicBitset or_ab = a | b;
+  EXPECT_EQ(or_ab.ToIndices(), (std::vector<uint32_t>{1, 70, 100, 127}));
+
+  DynamicBitset diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.ToIndices(), (std::vector<uint32_t>{1}));
+}
+
+TEST(BitsetTest, ForEachSetBitInOrder) {
+  DynamicBitset b(300);
+  std::vector<size_t> expected = {0, 5, 64, 65, 128, 299};
+  for (size_t i : expected) b.set(i);
+  std::vector<size_t> seen;
+  b.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, EqualityAndCopy) {
+  DynamicBitset a(64), b(64);
+  a.set(13);
+  EXPECT_NE(a, b);
+  b.set(13);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitsetTest, RandomizedAgainstReference) {
+  // Property check of the word-parallel ops against a bool-vector model.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.UniformInt(500);
+    std::vector<bool> ra(n), rb(n);
+    DynamicBitset a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.UniformInt(2)) {
+        ra[i] = true;
+        a.set(i);
+      }
+      if (rng.UniformInt(2)) {
+        rb[i] = true;
+        b.set(i);
+      }
+    }
+    DynamicBitset and_ab = a & b, or_ab = a | b, diff = a;
+    diff.AndNot(b);
+    size_t count_a = 0;
+    for (size_t i = 0; i < n; ++i) {
+      count_a += ra[i];
+      EXPECT_EQ(and_ab.test(i), ra[i] && rb[i]);
+      EXPECT_EQ(or_ab.test(i), ra[i] || rb[i]);
+      EXPECT_EQ(diff.test(i), ra[i] && !rb[i]);
+    }
+    EXPECT_EQ(a.count(), count_a);
+  }
+}
+
+TEST(BitsetTest, EmptyBitset) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  b.SetAll();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+}  // namespace
+}  // namespace nomsky

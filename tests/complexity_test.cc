@@ -1,0 +1,131 @@
+// Tests of the paper's complexity CLAIMS as observable invariants:
+//   * IPO query evaluation performs O(x^{m'}) set operations (Section 3.2);
+//   * Adaptive SFS touches only the affected points (l of them), never
+//     re-sorting the full list;
+//   * the IPO tree has Π_j (k_j + 1) - 1 choice+φ paths, with one A-set
+//     per choice node.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+
+namespace nomsky {
+namespace {
+
+class SetOpsBoundTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SetOpsBoundTest, IpoQuerySetOpsPolynomialInOrder) {
+  const size_t order = GetParam();
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.cardinality = 6;
+  config.num_nominal = 2;  // m' = 2
+  config.seed = 81;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  IpoTreeEngine tree(data, tmpl);
+  Rng rng(82);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, order, &rng);
+  ASSERT_TRUE(tree.Query(query).ok());
+
+  // Our implementation does 1 subtraction per visited child and 2 ops per
+  // merge fold: per dimension-level evaluation that's (x + 2(x-1)) ≤ 3x
+  // ops, and there are Σ_{d} x^{d} ≤ 2 x^{m'} evaluations — so a generous
+  // bound of 6 x^{m'+1} covers it while still scaling as the paper's
+  // O(x^{m'}) up to the per-level constant.
+  const size_t x = std::max<size_t>(order, 1);
+  const size_t m = config.num_nominal;
+  size_t bound = 6 * static_cast<size_t>(std::pow(x, m + 1));
+  EXPECT_LE(tree.last_query_stats().set_ops, bound) << "order " << order;
+  // Visited nodes similarly bounded.
+  size_t node_bound = 4 * static_cast<size_t>(std::pow(x + 1, m));
+  EXPECT_LE(tree.last_query_stats().nodes_visited, node_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SetOpsBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ComplexityTest, IpoNodeCountFormula) {
+  // Choice nodes = Π over levels (growing products): for m'=2 with k
+  // values each: k (level 1) + (k+1)*k (level 2).
+  for (size_t c : {2, 3, 5}) {
+    gen::GenConfig config;
+    config.num_rows = 60;
+    config.cardinality = c;
+    config.num_nominal = 2;
+    config.seed = 83 + c;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl(data.schema());
+    IpoTreeEngine tree(data, tmpl);
+    EXPECT_EQ(tree.build_stats().num_nodes, c + (c + 1) * c) << "c=" << c;
+  }
+}
+
+TEST(ComplexityTest, AdaptiveSfsAffectedBoundedByInvertedLists) {
+  gen::GenConfig config;
+  config.num_rows = 2000;
+  config.cardinality = 20;
+  config.seed = 84;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AdaptiveSfsEngine engine(data, tmpl);
+  Rng rng(85);
+  for (int rep = 0; rep < 10; ++rep) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+    ASSERT_TRUE(engine.Query(query).ok());
+    // l (re-ranked points) ≤ paper's AFFECT (any listed value) ≤ |S|.
+    size_t l = engine.last_query_stats().affected;
+    size_t paper_affect = engine.CountAffected(query).ValueOrDie();
+    EXPECT_LE(l, paper_affect);
+    EXPECT_LE(paper_affect, engine.sorted_skyline().size());
+  }
+}
+
+TEST(ComplexityTest, AdaptiveSfsDominanceTestsScaleWithAffected) {
+  // Dominance tests ≤ (emitted + affected) * accepted_affected ≤ n * l —
+  // crucially NOT n * n: unaffected points are never tested against each
+  // other.
+  gen::GenConfig config;
+  config.num_rows = 3000;
+  config.cardinality = 30;  // many values -> small affected fractions
+  config.seed = 86;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AdaptiveSfsEngine engine(data, tmpl);
+  Rng rng(87);
+  for (int rep = 0; rep < 5; ++rep) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+    ASSERT_TRUE(engine.Query(query).ok());
+    const auto& stats = engine.last_query_stats();
+    size_t n = engine.sorted_skyline().size();
+    EXPECT_LE(stats.dominance_tests, (n + stats.affected) * (stats.affected + 1))
+        << "rep " << rep;
+  }
+}
+
+TEST(ComplexityTest, TreeStorageScalesWithSkylineNotDataset) {
+  // Doubling N while the skyline stays similar must not double tree size.
+  gen::GenConfig small_cfg;
+  small_cfg.num_rows = 2000;
+  small_cfg.cardinality = 8;
+  small_cfg.distribution = gen::Distribution::kCorrelated;  // tiny skyline
+  small_cfg.seed = 88;
+  gen::GenConfig big_cfg = small_cfg;
+  big_cfg.num_rows = 8000;
+  Dataset small_data = gen::Generate(small_cfg);
+  Dataset big_data = gen::Generate(big_cfg);
+  IpoTreeEngine small_tree(small_data, gen::MostFrequentTemplate(small_data));
+  IpoTreeEngine big_tree(big_data, gen::MostFrequentTemplate(big_data));
+  // Correlated data keeps |S| tiny in both; tree bytes must stay within a
+  // modest factor even though N quadrupled.
+  EXPECT_LT(big_tree.MemoryUsage(),
+            8 * std::max<size_t>(small_tree.MemoryUsage(), 1));
+}
+
+}  // namespace
+}  // namespace nomsky

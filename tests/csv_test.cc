@@ -1,0 +1,152 @@
+#include "datagen/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datagen/generator.h"
+
+namespace nomsky {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const char* name) {
+    return testing::TempDir() + "/nomsky_csv_" + name + ".csv";
+  }
+  void Write(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+Schema SmallSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNominal("group", {"T", "H", "M"}).ok());
+  EXPECT_TRUE(s.AddNumeric("stars", SortDirection::kMaxBetter).ok());
+  return s;
+}
+
+TEST_F(CsvTest, RoundTripPreservesEverything) {
+  gen::GenConfig config;
+  config.num_rows = 500;
+  config.seed = 9;
+  Dataset data = gen::Generate(config);
+  std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(gen::SaveCsv(data, path).ok());
+
+  auto loaded = gen::LoadCsv(data.schema(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), data.num_rows());
+  for (size_t i = 0; i < data.schema().num_numeric(); ++i) {
+    EXPECT_EQ(loaded->numeric_column(i), data.numeric_column(i));
+  }
+  for (size_t j = 0; j < data.schema().num_nominal(); ++j) {
+    EXPECT_EQ(loaded->nominal_column(j), data.nominal_column(j));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, ColumnsInAnyOrder) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("reorder");
+  Write(path, "stars,price,group\n4,1600,T\n5,3000,H\n");
+  auto data = gen::LoadCsv(s, path);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_rows(), 2u);
+  EXPECT_EQ(data->numeric(0, 0), 1600.0);
+  EXPECT_EQ(data->numeric(2, 0), 4.0);
+  EXPECT_EQ(data->nominal(1, 1), 1u);  // H
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, QuotedCellsAndCrLf) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a,b", "c\"d"}).ok());
+  std::string path = TempPath("quoted");
+  Write(path, "x,g\r\n1,\"a,b\"\r\n2,\"c\"\"d\"\r\n");
+  auto data = gen::LoadCsv(s, path);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->nominal(1, 0), 0u);
+  EXPECT_EQ(data->nominal(1, 1), 1u);
+  // And the writer quotes them back correctly.
+  std::string out_path = TempPath("quoted_out");
+  ASSERT_TRUE(gen::SaveCsv(*data, out_path).ok());
+  auto again = gen::LoadCsv(s, out_path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->nominal_column(0), data->nominal_column(0));
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CsvTest, MissingColumnRejected) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("missing");
+  Write(path, "price,group\n1600,T\n");
+  EXPECT_TRUE(gen::LoadCsv(s, path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, UnknownColumnRejected) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("unknown");
+  Write(path, "price,group,stars,bogus\n1600,T,4,zzz\n");
+  EXPECT_TRUE(gen::LoadCsv(s, path).status().IsNotFound());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, BadNumberRejectedWithLineInfo) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("badnum");
+  Write(path, "price,group,stars\n1600,T,4\nxx,H,5\n");
+  Status st = gen::LoadCsv(s, path).status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find(":3:"), std::string::npos)
+      << "error should carry the line number: " << st.message();
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, UnknownNominalValueRejected) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("badval");
+  Write(path, "price,group,stars\n1600,Z,4\n");
+  EXPECT_TRUE(gen::LoadCsv(s, path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, RaggedRowRejected) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("ragged");
+  Write(path, "price,group,stars\n1600,T\n");
+  EXPECT_TRUE(gen::LoadCsv(s, path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  Schema s = SmallSchema();
+  EXPECT_TRUE(gen::LoadCsv(s, "/nonexistent/nope.csv").status().IsNotFound());
+}
+
+TEST_F(CsvTest, EmptyFileRejected) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("empty");
+  Write(path, "");
+  EXPECT_TRUE(gen::LoadCsv(s, path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, BlankLinesSkipped) {
+  Schema s = SmallSchema();
+  std::string path = TempPath("blank");
+  Write(path, "price,group,stars\n1600,T,4\n\n3000,H,5\n");
+  auto data = gen::LoadCsv(s, path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,160 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomsky {
+namespace {
+
+TEST(DatagenTest, SchemaMatchesConfig) {
+  gen::GenConfig config;
+  config.num_numeric = 4;
+  config.num_nominal = 3;
+  config.cardinality = 7;
+  Schema s = gen::MakeSchema(config);
+  EXPECT_EQ(s.num_numeric(), 4u);
+  EXPECT_EQ(s.num_nominal(), 3u);
+  EXPECT_EQ(s.dim(s.nominal_dims()[0]).cardinality(), 7u);
+}
+
+TEST(DatagenTest, RowCountAndRanges) {
+  gen::GenConfig config;
+  config.num_rows = 2000;
+  config.seed = 11;
+  Dataset data = gen::Generate(config);
+  EXPECT_EQ(data.num_rows(), 2000u);
+  for (size_t i = 0; i < config.num_numeric; ++i) {
+    for (double v : data.numeric_column(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  for (size_t j = 0; j < config.num_nominal; ++j) {
+    for (ValueId v : data.nominal_column(j)) EXPECT_LT(v, config.cardinality);
+  }
+}
+
+TEST(DatagenTest, DeterministicPerSeed) {
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.seed = 12;
+  Dataset a = gen::Generate(config), b = gen::Generate(config);
+  EXPECT_EQ(a.numeric_column(0), b.numeric_column(0));
+  EXPECT_EQ(a.nominal_column(0), b.nominal_column(0));
+  config.seed = 13;
+  Dataset c = gen::Generate(config);
+  EXPECT_NE(a.numeric_column(0), c.numeric_column(0));
+}
+
+double PearsonDim01(const Dataset& data) {
+  const auto& x = data.numeric_column(0);
+  const auto& y = data.numeric_column(1);
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= x.size();
+  my /= y.size();
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(DatagenTest, DistributionsHaveExpectedCorrelation) {
+  gen::GenConfig config;
+  config.num_rows = 20000;
+  config.num_numeric = 2;
+  config.seed = 14;
+
+  config.distribution = gen::Distribution::kIndependent;
+  EXPECT_NEAR(PearsonDim01(gen::Generate(config)), 0.0, 0.05);
+
+  config.distribution = gen::Distribution::kCorrelated;
+  EXPECT_GT(PearsonDim01(gen::Generate(config)), 0.7);
+
+  config.distribution = gen::Distribution::kAnticorrelated;
+  EXPECT_LT(PearsonDim01(gen::Generate(config)), -0.3);
+}
+
+TEST(DatagenTest, ZipfSkewsNominalFrequencies) {
+  gen::GenConfig config;
+  config.num_rows = 20000;
+  config.cardinality = 10;
+  config.zipf_theta = 1.0;
+  config.seed = 15;
+  Dataset data = gen::Generate(config);
+  std::vector<size_t> counts = data.ValueCounts(data.schema().nominal_dims()[0]);
+  // Value 0 is the Zipf head: must dominate the tail value.
+  EXPECT_GT(counts[0], 4 * counts[9]);
+}
+
+TEST(DatagenTest, MostFrequentTemplateIsFirstOrder) {
+  gen::GenConfig config;
+  config.num_rows = 5000;
+  config.seed = 16;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  for (size_t j = 0; j < tmpl.num_nominal(); ++j) {
+    ASSERT_EQ(tmpl.pref(j).order(), 1u);
+    ValueId t = tmpl.pref(j).choices()[0];
+    std::vector<size_t> counts =
+        data.ValueCounts(data.schema().nominal_dims()[j]);
+    for (size_t v = 0; v < counts.size(); ++v) {
+      EXPECT_LE(counts[v], counts[t]);
+    }
+  }
+}
+
+TEST(DatagenTest, RandomQueryRefinesTemplate) {
+  gen::GenConfig config;
+  config.num_rows = 1000;
+  config.seed = 17;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(18);
+  for (size_t order = 1; order <= 5; ++order) {
+    PreferenceProfile q = gen::RandomImplicitQuery(data, tmpl, order, &rng);
+    EXPECT_TRUE(q.IsRefinementOf(tmpl)) << "order " << order;
+    EXPECT_EQ(q.order(), std::max<size_t>(order, 1));
+    // Choices must be distinct.
+    for (size_t j = 0; j < q.num_nominal(); ++j) {
+      auto choices = q.pref(j).choices();
+      std::sort(choices.begin(), choices.end());
+      EXPECT_EQ(std::unique(choices.begin(), choices.end()), choices.end());
+    }
+  }
+}
+
+TEST(DatagenTest, RandomQueryOrderClampedToCardinality) {
+  gen::GenConfig config;
+  config.num_rows = 500;
+  config.cardinality = 3;
+  config.seed = 19;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(20);
+  PreferenceProfile q = gen::RandomImplicitQuery(data, tmpl, 10, &rng);
+  for (size_t j = 0; j < q.num_nominal(); ++j) {
+    EXPECT_EQ(q.pref(j).order(), 3u);
+  }
+}
+
+TEST(DatagenTest, DistributionNames) {
+  EXPECT_STREQ(gen::DistributionName(gen::Distribution::kIndependent),
+               "independent");
+  EXPECT_STREQ(gen::DistributionName(gen::Distribution::kCorrelated),
+               "correlated");
+  EXPECT_STREQ(gen::DistributionName(gen::Distribution::kAnticorrelated),
+               "anti-correlated");
+}
+
+}  // namespace
+}  // namespace nomsky

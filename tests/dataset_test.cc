@@ -1,0 +1,85 @@
+#include "common/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace nomsky {
+namespace {
+
+Schema TwoByTwoSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("a").ok());
+  EXPECT_TRUE(s.AddNominal("b", {"x", "y", "z"}).ok());
+  EXPECT_TRUE(s.AddNumeric("c").ok());
+  EXPECT_TRUE(s.AddNominal("d", {"p", "q"}).ok());
+  return s;
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset data(TwoByTwoSchema());
+  ASSERT_TRUE(data.Append({{1.0, 2.0}, {2, 1}}).ok());
+  ASSERT_TRUE(data.Append({{3.0, 4.0}, {0, 0}}).ok());
+  EXPECT_EQ(data.num_rows(), 2u);
+  EXPECT_EQ(data.numeric(0, 0), 1.0);
+  EXPECT_EQ(data.numeric(2, 0), 2.0);
+  EXPECT_EQ(data.numeric(2, 1), 4.0);
+  EXPECT_EQ(data.nominal(1, 0), 2u);
+  EXPECT_EQ(data.nominal(3, 1), 0u);
+}
+
+TEST(DatasetTest, ColumnAccess) {
+  Dataset data(TwoByTwoSchema());
+  ASSERT_TRUE(data.Append({{1.0, 2.0}, {2, 1}}).ok());
+  ASSERT_TRUE(data.Append({{3.0, 4.0}, {0, 0}}).ok());
+  EXPECT_EQ(data.numeric_column(0), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(data.nominal_column(1), (std::vector<ValueId>{1, 0}));
+}
+
+TEST(DatasetTest, GetRowRoundTrips) {
+  Dataset data(TwoByTwoSchema());
+  RowValues row{{7.5, -2.0}, {1, 0}};
+  ASSERT_TRUE(data.Append(row).ok());
+  RowValues back = data.GetRow(0);
+  EXPECT_EQ(back.numeric, row.numeric);
+  EXPECT_EQ(back.nominal, row.nominal);
+}
+
+TEST(DatasetTest, LayoutMismatchRejected) {
+  Dataset data(TwoByTwoSchema());
+  EXPECT_TRUE(data.Append({{1.0}, {2, 1}}).IsInvalidArgument());
+  EXPECT_TRUE(data.Append({{1.0, 2.0}, {2}}).IsInvalidArgument());
+}
+
+TEST(DatasetTest, OutOfRangeNominalRejected) {
+  Dataset data(TwoByTwoSchema());
+  EXPECT_TRUE(data.Append({{1.0, 2.0}, {3, 0}}).IsOutOfRange());
+  EXPECT_TRUE(data.Append({{1.0, 2.0}, {0, 2}}).IsOutOfRange());
+  EXPECT_EQ(data.num_rows(), 0u);
+}
+
+TEST(DatasetTest, ValueCounts) {
+  Dataset data(TwoByTwoSchema());
+  ASSERT_TRUE(data.Append({{0, 0}, {2, 1}}).ok());
+  ASSERT_TRUE(data.Append({{0, 0}, {2, 0}}).ok());
+  ASSERT_TRUE(data.Append({{0, 0}, {1, 0}}).ok());
+  EXPECT_EQ(data.ValueCounts(1), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(data.ValueCounts(3), (std::vector<size_t>{2, 1}));
+}
+
+TEST(DatasetTest, MemoryUsageGrows) {
+  Dataset data(TwoByTwoSchema());
+  size_t before = data.MemoryUsage();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(data.Append({{1.0, 2.0}, {0, 0}}).ok());
+  }
+  EXPECT_GT(data.MemoryUsage(), before);
+  EXPECT_GE(data.MemoryUsage(), 1000 * (2 * sizeof(double) + 2 * sizeof(ValueId)));
+}
+
+TEST(DatasetTest, ReserveDoesNotChangeRowCount) {
+  Dataset data(TwoByTwoSchema());
+  data.Reserve(100);
+  EXPECT_EQ(data.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace nomsky

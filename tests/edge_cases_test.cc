@@ -1,0 +1,229 @@
+// Failure-injection and degenerate-input tests across the whole stack:
+// empty datasets, single rows, identical rows, cardinality-1 dimensions,
+// no-nominal and no-numeric schemas, full-order templates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adaptive_sfs.h"
+#include "core/hybrid.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+#include "skyline/sfs_direct.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EdgeCasesTest, EmptyDataset) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  PreferenceProfile tmpl(s);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  SfsDirect sfsd(data, tmpl);
+  auto q = PreferenceProfile::Parse(s, {{"g", "b<*"}}).ValueOrDie();
+  EXPECT_TRUE(tree.Query(q).ValueOrDie().empty());
+  EXPECT_TRUE(asfs.Query(q).ValueOrDie().empty());
+  EXPECT_TRUE(sfsd.Query(q).ValueOrDie().empty());
+}
+
+TEST(EdgeCasesTest, SingleRow) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0}, {1}}).ok());
+  PreferenceProfile tmpl(s);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  auto q = PreferenceProfile::Parse(s, {{"g", "a<*"}}).ValueOrDie();
+  EXPECT_EQ(tree.Query(q).ValueOrDie(), (std::vector<RowId>{0}));
+  EXPECT_EQ(asfs.Query(q).ValueOrDie(), (std::vector<RowId>{0}));
+}
+
+TEST(EdgeCasesTest, AllRowsIdentical) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(data.Append({{1.0}, {0}}).ok());
+  PreferenceProfile tmpl(s);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  auto q = PreferenceProfile::Parse(s, {{"g", "b<a"}}).ValueOrDie();
+  // Nothing dominates anything: all 20 stay.
+  EXPECT_EQ(tree.Query(q).ValueOrDie().size(), 20u);
+  EXPECT_EQ(asfs.Query(q).ValueOrDie().size(), 20u);
+}
+
+TEST(EdgeCasesTest, CardinalityOneNominalDim) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"only"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{2.0}, {0}}).ok());
+  ASSERT_TRUE(data.Append({{1.0}, {0}}).ok());
+  PreferenceProfile tmpl(s);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  // The only possible preference: "only < *" (vacuous).
+  auto q = PreferenceProfile::Parse(s, {{"g", "only<*"}}).ValueOrDie();
+  EXPECT_EQ(tree.Query(q).ValueOrDie(), (std::vector<RowId>{1}));
+  EXPECT_EQ(asfs.Query(q).ValueOrDie(), (std::vector<RowId>{1}));
+}
+
+TEST(EdgeCasesTest, NoNominalDims) {
+  // Degenerates to a classic numeric skyline; engines must still work
+  // (IPO tree = root only; queries are necessarily empty).
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNumeric("y").ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0, 3.0}, {}}).ok());
+  ASSERT_TRUE(data.Append({{2.0, 2.0}, {}}).ok());
+  ASSERT_TRUE(data.Append({{3.0, 1.0}, {}}).ok());
+  ASSERT_TRUE(data.Append({{3.0, 3.0}, {}}).ok());  // dominated
+  PreferenceProfile tmpl(s);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  PreferenceProfile q(s);
+  EXPECT_EQ(Sorted(tree.Query(q).ValueOrDie()), (std::vector<RowId>{0, 1, 2}));
+  EXPECT_EQ(Sorted(asfs.Query(q).ValueOrDie()), (std::vector<RowId>{0, 1, 2}));
+}
+
+TEST(EdgeCasesTest, NoNumericDims) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b", "c"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{}, {0}}).ok());
+  ASSERT_TRUE(data.Append({{}, {1}}).ok());
+  ASSERT_TRUE(data.Append({{}, {2}}).ok());
+  PreferenceProfile tmpl(s);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  IpoTreeEngine tree(data, tmpl);
+  // "a<b<c": a dominates b dominates c (no other dims to differ in).
+  auto q = PreferenceProfile::Parse(s, {{"g", "a<b<c"}}).ValueOrDie();
+  EXPECT_EQ(asfs.Query(q).ValueOrDie(), (std::vector<RowId>{0}));
+  EXPECT_EQ(tree.Query(q).ValueOrDie(), (std::vector<RowId>{0}));
+  // Empty preference: all three incomparable.
+  EXPECT_EQ(asfs.Query(PreferenceProfile(s)).ValueOrDie().size(), 3u);
+}
+
+TEST(EdgeCasesTest, FullOrderTemplate) {
+  // Template totally orders the nominal dim: queries can only repeat it.
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b", "c"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0}, {2}}).ok());  // c
+  ASSERT_TRUE(data.Append({{2.0}, {0}}).ok());  // a
+  ASSERT_TRUE(data.Append({{3.0}, {1}}).ok());  // b
+  auto tmpl = PreferenceProfile::Parse(s, {{"g", "a<b<c"}}).ValueOrDie();
+  AdaptiveSfsEngine asfs(data, tmpl);
+  IpoTreeEngine tree(data, tmpl);
+  // Skyline under a<b<c: row1 (a, 2.0) vs row0 (c, 1.0): a≺c but 2>1 ->
+  // incomparable; row2 (b,3.0) vs row1 (a,2.0): dominated.
+  PreferenceProfile empty_query(s);
+  EXPECT_EQ(Sorted(asfs.Query(empty_query).ValueOrDie()),
+            (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(Sorted(tree.Query(tmpl).ValueOrDie()), (std::vector<RowId>{0, 1}));
+}
+
+TEST(EdgeCasesTest, SecondOrderTemplate) {
+  // Engines must support templates of order > 1 (Section 2 allows any
+  // implicit template).
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.cardinality = 5;
+  config.seed = 51;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl(data.schema());
+  for (size_t j = 0; j < tmpl.num_nominal(); ++j) {
+    ASSERT_TRUE(
+        tmpl.SetPref(j, ImplicitPreference::Make(5, {0, 1}).ValueOrDie()).ok());
+  }
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  SfsDirect sfsd(data, tmpl);
+  Rng rng(52);
+  for (int rep = 0; rep < 5; ++rep) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 4, &rng);
+    auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+    DominanceComparator cmp(data, combined);
+    std::vector<RowId> truth = Sorted(NaiveSkyline(cmp, AllRows(300)));
+    EXPECT_EQ(Sorted(tree.Query(query).ValueOrDie()), truth) << rep;
+    EXPECT_EQ(Sorted(asfs.Query(query).ValueOrDie()), truth) << rep;
+    EXPECT_EQ(Sorted(sfsd.Query(query).ValueOrDie()), truth) << rep;
+  }
+}
+
+TEST(EdgeCasesTest, QueryFullOrderOnEveryDim) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.cardinality = 4;
+  config.seed = 53;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  Rng rng(54);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 4, &rng);
+  for (size_t j = 0; j < query.num_nominal(); ++j) {
+    ASSERT_EQ(query.pref(j).order(), 4u) << "full order expected";
+  }
+  auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+  DominanceComparator cmp(data, combined);
+  std::vector<RowId> truth = Sorted(NaiveSkyline(cmp, AllRows(200)));
+  EXPECT_EQ(Sorted(tree.Query(query).ValueOrDie()), truth);
+  EXPECT_EQ(Sorted(asfs.Query(query).ValueOrDie()), truth);
+}
+
+TEST(EdgeCasesTest, TopKClampsToSkylineSize) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.seed = 55;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  Rng rng(56);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  size_t full = asfs.Query(query).ValueOrDie().size();
+  EXPECT_EQ(asfs.QueryTopK(query, full + 100).ValueOrDie().size(), full);
+  EXPECT_EQ(asfs.QueryTopK(query, 3).ValueOrDie().size(),
+            std::min<size_t>(3, full));
+  // Top-k is a prefix of the progressive order.
+  auto top3 = asfs.QueryTopK(query, 3).ValueOrDie();
+  std::vector<RowId> first3;
+  (void)asfs.QueryProgressive(query, [&](RowId r, double) {
+    first3.push_back(r);
+    return first3.size() < 3;
+  });
+  EXPECT_EQ(top3, first3);
+}
+
+TEST(EdgeCasesTest, HybridOnTinyDomains) {
+  // top_k larger than cardinality: hybrid degenerates to a full tree.
+  gen::GenConfig config;
+  config.num_rows = 150;
+  config.cardinality = 3;
+  config.seed = 57;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/10);
+  Rng rng(58);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+  ASSERT_TRUE(hybrid.Query(query).ok());
+  EXPECT_EQ(hybrid.fallback_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace nomsky

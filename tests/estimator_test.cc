@@ -1,0 +1,104 @@
+#include "skyline/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+namespace {
+
+TEST(AnalyticEstimateTest, ZeroRows) {
+  gen::GenConfig config;
+  Schema schema = gen::MakeSchema(config);
+  PreferenceProfile profile(schema);
+  EXPECT_EQ(AnalyticIndependentEstimate(0, schema, profile), 0.0);
+}
+
+TEST(AnalyticEstimateTest, GrowsWithDimensionality) {
+  gen::GenConfig a, b;
+  a.num_numeric = 2;
+  b.num_numeric = 5;
+  Schema sa = gen::MakeSchema(a), sb = gen::MakeSchema(b);
+  double ea = AnalyticIndependentEstimate(100000, sa, PreferenceProfile(sa));
+  double eb = AnalyticIndependentEstimate(100000, sb, PreferenceProfile(sb));
+  EXPECT_GT(eb, ea);
+}
+
+TEST(AnalyticEstimateTest, CappedAtN) {
+  gen::GenConfig config;
+  config.num_numeric = 8;
+  config.num_nominal = 4;
+  Schema schema = gen::MakeSchema(config);
+  EXPECT_LE(AnalyticIndependentEstimate(50, schema, PreferenceProfile(schema)),
+            50.0);
+}
+
+TEST(AnalyticEstimateTest, WithinOrderOfMagnitudeOnIndependentNumeric) {
+  // Pure numeric independent data is the formula's home turf.
+  gen::GenConfig config;
+  config.num_rows = 50000;
+  config.num_numeric = 3;
+  config.num_nominal = 0;
+  config.distribution = gen::Distribution::kIndependent;
+  config.seed = 21;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile profile(data.schema());
+  double actual = static_cast<double>(
+      SfsSkyline(data, profile, AllRows(config.num_rows)).size());
+  double estimate =
+      AnalyticIndependentEstimate(config.num_rows, data.schema(), profile);
+  EXPECT_GT(estimate, actual / 10.0);
+  EXPECT_LT(estimate, actual * 10.0);
+}
+
+TEST(SampleEstimateTest, ExactOnTinyData) {
+  gen::GenConfig config;
+  config.num_rows = 40;
+  config.seed = 22;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile profile = gen::MostFrequentTemplate(data);
+  double actual = static_cast<double>(
+      SfsSkyline(data, profile, AllRows(config.num_rows)).size());
+  // Budget below 16 triggers the exact path.
+  EXPECT_EQ(SampleSkylineEstimate(data, profile, 10, 1), actual);
+}
+
+TEST(SampleEstimateTest, WithinFactorOfTruth) {
+  for (auto dist : {gen::Distribution::kIndependent,
+                    gen::Distribution::kAnticorrelated}) {
+    gen::GenConfig config;
+    config.num_rows = 20000;
+    config.distribution = dist;
+    config.seed = 23;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile profile = gen::MostFrequentTemplate(data);
+    double actual = static_cast<double>(
+        SfsSkyline(data, profile, AllRows(config.num_rows)).size());
+    double estimate = SampleSkylineEstimate(data, profile, 4000, 7);
+    EXPECT_GT(estimate, actual / 5.0) << gen::DistributionName(dist);
+    EXPECT_LT(estimate, actual * 5.0) << gen::DistributionName(dist);
+  }
+}
+
+TEST(SampleEstimateTest, DeterministicPerSeed) {
+  gen::GenConfig config;
+  config.num_rows = 5000;
+  config.seed = 24;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile profile = gen::MostFrequentTemplate(data);
+  EXPECT_EQ(SampleSkylineEstimate(data, profile, 1000, 5),
+            SampleSkylineEstimate(data, profile, 1000, 5));
+}
+
+TEST(SampleEstimateTest, EmptyDataset) {
+  gen::GenConfig config;
+  Schema schema = gen::MakeSchema(config);
+  Dataset data(schema);
+  PreferenceProfile profile(schema);
+  EXPECT_EQ(SampleSkylineEstimate(data, profile, 100, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,131 @@
+#include "skyline/general.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Random (cycle-free) partial order over c values.
+PartialOrder RandomOrder(size_t c, size_t attempts, Rng* rng) {
+  PartialOrder order(c);
+  for (size_t i = 0; i < attempts; ++i) {
+    ValueId u = static_cast<ValueId>(rng->UniformInt(c));
+    ValueId v = static_cast<ValueId>(rng->UniformInt(c));
+    if (u != v) (void)order.AddPair(u, v);  // conflicting adds just fail
+  }
+  return order;
+}
+
+TEST(TopologicalRanksTest, EmptyOrderAllRankOne) {
+  PartialOrder order(5);
+  EXPECT_EQ(TopologicalRanks(order), (std::vector<uint32_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(TopologicalRanksTest, ChainGetsSequentialRanks) {
+  PartialOrder order(4);
+  ASSERT_TRUE(order.AddPair(2, 0).ok());
+  ASSERT_TRUE(order.AddPair(0, 3).ok());
+  ASSERT_TRUE(order.AddPair(3, 1).ok());
+  // chain: 2 ≺ 0 ≺ 3 ≺ 1.
+  EXPECT_EQ(TopologicalRanks(order), (std::vector<uint32_t>{2, 4, 1, 3}));
+}
+
+TEST(TopologicalRanksTest, DiamondSharesMiddleRank) {
+  // 0 ≺ 1, 0 ≺ 2, 1 ≺ 3, 2 ≺ 3.
+  PartialOrder order(4);
+  ASSERT_TRUE(order.AddPair(0, 1).ok());
+  ASSERT_TRUE(order.AddPair(0, 2).ok());
+  ASSERT_TRUE(order.AddPair(1, 3).ok());
+  ASSERT_TRUE(order.AddPair(2, 3).ok());
+  EXPECT_EQ(TopologicalRanks(order), (std::vector<uint32_t>{1, 2, 2, 3}));
+}
+
+TEST(TopologicalRanksTest, MonotoneOnRandomOrders) {
+  Rng rng(71);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t c = 3 + rng.UniformInt(8);
+    PartialOrder order = RandomOrder(c, 15, &rng);
+    std::vector<uint32_t> rank = TopologicalRanks(order);
+    for (ValueId u = 0; u < c; ++u) {
+      for (ValueId v = 0; v < c; ++v) {
+        if (order.Contains(u, v)) {
+          EXPECT_LT(rank[u], rank[v]) << "u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneralSfsTest, MatchesNaiveGeneralOnRandomOrders) {
+  Rng rng(72);
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::GenConfig config;
+    config.num_rows = 250;
+    config.cardinality = 5;
+    config.num_nominal = 2;
+    config.seed = 700 + trial;
+    Dataset data = gen::Generate(config);
+    std::vector<PartialOrder> orders;
+    for (size_t j = 0; j < 2; ++j) {
+      orders.push_back(RandomOrder(5, 8, &rng));
+    }
+    std::vector<RowId> via_sfs = Sorted(
+        GeneralSfsSkyline(data, orders, AllRows(config.num_rows)));
+    GeneralDominanceComparator cmp(data, orders);
+    std::vector<RowId> via_naive =
+        Sorted(NaiveSkylineGeneral(cmp, AllRows(config.num_rows)));
+    EXPECT_EQ(via_sfs, via_naive) << "trial " << trial;
+  }
+}
+
+TEST(GeneralSfsTest, ImplicitPreferenceIsSpecialCase) {
+  // Running the general path on P(R̃) must match the implicit fast path.
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.cardinality = 6;
+  config.seed = 73;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(74);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+
+  std::vector<PartialOrder> orders;
+  for (size_t j = 0; j < query.num_nominal(); ++j) {
+    orders.push_back(query.pref(j).ToPartialOrder());
+  }
+  std::vector<RowId> general =
+      Sorted(GeneralSfsSkyline(data, orders, AllRows(config.num_rows)));
+  std::vector<RowId> fast =
+      Sorted(SfsSkyline(data, query, AllRows(config.num_rows)));
+  EXPECT_EQ(general, fast);
+}
+
+TEST(GeneralSfsTest, TotalOrderBehavesNumerically) {
+  // A fully ordered nominal dim is just another numeric dim.
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("g", {"gold", "silver", "bronze"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{}, {2}}).ok());
+  ASSERT_TRUE(data.Append({{}, {0}}).ok());
+  ASSERT_TRUE(data.Append({{}, {1}}).ok());
+  PartialOrder total(3);
+  ASSERT_TRUE(total.AddPair(0, 1).ok());
+  ASSERT_TRUE(total.AddPair(1, 2).ok());
+  EXPECT_EQ(GeneralSfsSkyline(data, {total}, AllRows(3)),
+            (std::vector<RowId>{1}));
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,114 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(HybridTest, PopularQueryUsesTree) {
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.cardinality = 8;
+  config.zipf_theta = 1.5;
+  config.seed = 5;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/3);
+
+  std::vector<ValueId> frequent = hybrid.tree().allowed_values(0);
+  PreferenceProfile popular(data.schema());
+  ASSERT_TRUE(popular
+                  .SetPref(0, ImplicitPreference::Make(8, {frequent[0],
+                                                           frequent[1]})
+                                  .ValueOrDie())
+                  .ok());
+  ASSERT_TRUE(hybrid.Query(popular).ok());
+  EXPECT_EQ(hybrid.tree_hits(), 1u);
+  EXPECT_EQ(hybrid.fallback_hits(), 0u);
+}
+
+TEST(HybridTest, RareQueryFallsBackToAdaptiveSfs) {
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.cardinality = 8;
+  config.zipf_theta = 1.5;
+  config.seed = 6;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/3);
+
+  ValueId t = tmpl.pref(0).choices()[0];
+  PreferenceProfile rare(data.schema());
+  ASSERT_TRUE(rare.SetPref(0, ImplicitPreference::Make(8, {t, 7}).ValueOrDie())
+                  .ok());
+  ASSERT_TRUE(hybrid.Query(rare).ok());
+  EXPECT_EQ(hybrid.fallback_hits(), 1u);
+}
+
+TEST(HybridTest, BothPathsReturnTheSameSkyline) {
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.cardinality = 6;
+  config.seed = 7;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/4);
+  Rng rng(8);
+  for (int rep = 0; rep < 10; ++rep) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+    auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+    DominanceComparator cmp(data, combined);
+    std::vector<RowId> expected =
+        Sorted(NaiveSkyline(cmp, AllRows(config.num_rows)));
+    EXPECT_EQ(Sorted(hybrid.Query(query).ValueOrDie()), expected)
+        << "rep " << rep;
+  }
+  EXPECT_EQ(hybrid.tree_hits() + hybrid.fallback_hits(), 10u);
+}
+
+TEST(HybridTest, RealErrorsAreNotSwallowed) {
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.seed = 9;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/5);
+  // Conflicting query: must surface Conflict, not fall back.
+  ValueId t = tmpl.pref(0).choices()[0];
+  ValueId other = t == 0 ? 1 : 0;
+  PreferenceProfile bad(data.schema());
+  ASSERT_TRUE(
+      bad.SetPref(0, ImplicitPreference::Make(tmpl.pref(0).cardinality(),
+                                              {other, t})
+                         .ValueOrDie())
+          .ok());
+  EXPECT_TRUE(hybrid.Query(bad).status().IsConflict());
+  EXPECT_EQ(hybrid.fallback_hits(), 0u);
+}
+
+TEST(HybridTest, ReportsCombinedCosts) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.seed = 10;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  HybridEngine hybrid(data, tmpl, /*top_k=*/3);
+  EXPECT_GE(hybrid.MemoryUsage(), hybrid.tree().MemoryUsage());
+  EXPECT_GE(hybrid.preprocessing_seconds(),
+            hybrid.tree().preprocessing_seconds());
+  EXPECT_STREQ(hybrid.name(), "Hybrid");
+}
+
+}  // namespace
+}  // namespace nomsky

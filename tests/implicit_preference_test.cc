@@ -1,0 +1,162 @@
+#include "order/implicit_preference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nomsky {
+namespace {
+
+Dimension HotelGroup() {
+  return Dimension::Nominal("hotel_group", {"T", "H", "M"});
+}
+
+TEST(ImplicitPreferenceTest, EmptyPreference) {
+  ImplicitPreference p(5);
+  EXPECT_EQ(p.order(), 0u);
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_EQ(p.Compare(0, 1), 0);
+  EXPECT_FALSE(p.Comparable(0, 1));
+  EXPECT_TRUE(p.Comparable(2, 2));
+}
+
+TEST(ImplicitPreferenceTest, MakeValidatesChoices) {
+  EXPECT_TRUE(ImplicitPreference::Make(3, {0, 1}).ok());
+  EXPECT_TRUE(ImplicitPreference::Make(3, {3}).status().IsOutOfRange());
+  EXPECT_TRUE(ImplicitPreference::Make(3, {0, 0}).status().IsInvalidArgument());
+}
+
+TEST(ImplicitPreferenceTest, PositionsAndCompare) {
+  // "T ≺ M ≺ *" over {T,H,M}: T=0, H=1, M=2.
+  auto p = ImplicitPreference::Make(3, {0, 2}).ValueOrDie();
+  EXPECT_EQ(p.order(), 2u);
+  EXPECT_EQ(p.PositionOf(0), 0);
+  EXPECT_EQ(p.PositionOf(2), 1);
+  EXPECT_EQ(p.PositionOf(1), -1);
+  EXPECT_LT(p.Compare(0, 2), 0);  // T ≺ M
+  EXPECT_LT(p.Compare(0, 1), 0);  // T ≺ H (unlisted)
+  EXPECT_LT(p.Compare(2, 1), 0);  // M ≺ H
+  EXPECT_GT(p.Compare(1, 2), 0);
+  EXPECT_EQ(p.Compare(1, 1), 0);
+  EXPECT_TRUE(p.Comparable(0, 1));
+}
+
+TEST(ImplicitPreferenceTest, TwoUnlistedIncomparable) {
+  auto p = ImplicitPreference::Make(4, {0}).ValueOrDie();
+  EXPECT_EQ(p.Compare(1, 2), 0);
+  EXPECT_FALSE(p.Comparable(1, 2));
+  EXPECT_TRUE(p.Comparable(1, 1)) << "equal values are always comparable";
+}
+
+TEST(ImplicitPreferenceTest, ParseBasic) {
+  auto p = ImplicitPreference::Parse(HotelGroup(), "T<M<*").ValueOrDie();
+  EXPECT_EQ(p.choices(), (std::vector<ValueId>{0, 2}));
+}
+
+TEST(ImplicitPreferenceTest, ParseWithSpacesAndNoStar) {
+  auto p = ImplicitPreference::Parse(HotelGroup(), " H < T ").ValueOrDie();
+  EXPECT_EQ(p.choices(), (std::vector<ValueId>{1, 0}));
+}
+
+TEST(ImplicitPreferenceTest, ParseUtf8Prec) {
+  auto p = ImplicitPreference::Parse(HotelGroup(), "H ≺ M ≺ *").ValueOrDie();
+  EXPECT_EQ(p.choices(), (std::vector<ValueId>{1, 2}));
+}
+
+TEST(ImplicitPreferenceTest, ParseEmptyAndStarOnly) {
+  EXPECT_TRUE(ImplicitPreference::Parse(HotelGroup(), "*").ValueOrDie().IsEmpty());
+}
+
+TEST(ImplicitPreferenceTest, ParseRejectsUnknownValue) {
+  EXPECT_TRUE(
+      ImplicitPreference::Parse(HotelGroup(), "T<Z<*").status().IsNotFound());
+}
+
+TEST(ImplicitPreferenceTest, ParseRejectsEmptyEntry) {
+  EXPECT_TRUE(ImplicitPreference::Parse(HotelGroup(), "T<<M")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ImplicitPreferenceTest, ToStringRoundTrip) {
+  Dimension dim = HotelGroup();
+  auto p = ImplicitPreference::Parse(dim, "T<M<*").ValueOrDie();
+  EXPECT_EQ(p.ToString(dim), "T<M<*");
+  ImplicitPreference empty(3);
+  EXPECT_EQ(empty.ToString(dim), "*");
+}
+
+TEST(ImplicitPreferenceTest, PairsMatchDefinition2) {
+  // Definition 2 on {v0..v3} with choices v2 ≺ v0: pairs are
+  // (2,0), (2,1), (2,3), (0,1), (0,3).
+  auto p = ImplicitPreference::Make(4, {2, 0}).ValueOrDie();
+  std::vector<OrderPair> pairs = p.Pairs();
+  std::vector<OrderPair> expected = {{0, 1}, {0, 3}, {2, 0}, {2, 1}, {2, 3}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(ImplicitPreferenceTest, ToPartialOrderAgreesWithCompare) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t c = 2 + rng.UniformInt(8);
+    size_t x = rng.UniformInt(c + 1);
+    std::vector<ValueId> all(c);
+    for (size_t i = 0; i < c; ++i) all[i] = static_cast<ValueId>(i);
+    rng.Shuffle(&all);
+    all.resize(x);
+    auto p = ImplicitPreference::Make(c, all).ValueOrDie();
+    PartialOrder order = p.ToPartialOrder();
+    for (ValueId a = 0; a < c; ++a) {
+      for (ValueId b = 0; b < c; ++b) {
+        if (a == b) continue;
+        EXPECT_EQ(order.Contains(a, b), p.Compare(a, b) < 0)
+            << "a=" << a << " b=" << b << " order=" << x;
+      }
+    }
+  }
+}
+
+TEST(ImplicitPreferenceTest, PrefixTruncates) {
+  auto p = ImplicitPreference::Make(5, {3, 1, 4}).ValueOrDie();
+  EXPECT_EQ(p.Prefix(2).choices(), (std::vector<ValueId>{3, 1}));
+  EXPECT_EQ(p.Prefix(0).order(), 0u);
+  EXPECT_EQ(p.Prefix(9), p) << "clamping past order returns the whole";
+}
+
+TEST(ImplicitPreferenceTest, RefinementIsPrefixRule) {
+  auto base = ImplicitPreference::Make(4, {1}).ValueOrDie();
+  auto longer = ImplicitPreference::Make(4, {1, 3}).ValueOrDie();
+  auto reordered = ImplicitPreference::Make(4, {3, 1}).ValueOrDie();
+  EXPECT_TRUE(longer.IsRefinementOf(base));
+  EXPECT_FALSE(base.IsRefinementOf(longer));
+  EXPECT_FALSE(reordered.IsRefinementOf(base));
+  EXPECT_TRUE(base.IsRefinementOf(ImplicitPreference(4)));
+}
+
+TEST(ImplicitPreferenceTest, PrefixRefinementMatchesPairContainment) {
+  // Property: IsRefinementOf (prefix rule) ⟺ P(weaker) ⊆ P(stronger).
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t c = 2 + rng.UniformInt(6);
+    auto random_pref = [&](size_t max_order) {
+      std::vector<ValueId> vals(c);
+      for (size_t i = 0; i < c; ++i) vals[i] = static_cast<ValueId>(i);
+      rng.Shuffle(&vals);
+      vals.resize(rng.UniformInt(max_order + 1));
+      return ImplicitPreference::Make(c, vals).ValueOrDie();
+    };
+    ImplicitPreference a = random_pref(c), b = random_pref(c);
+    bool by_rule = a.IsRefinementOf(b);
+    bool by_pairs = a.ToPartialOrder().IsRefinementOf(b.ToPartialOrder());
+    EXPECT_EQ(by_rule, by_pairs)
+        << "a order=" << a.order() << " b order=" << b.order();
+  }
+}
+
+TEST(ImplicitPreferenceTest, FullOrderListsEverything) {
+  auto p = ImplicitPreference::Make(3, {2, 1, 0}).ValueOrDie();
+  EXPECT_TRUE(p.ToPartialOrder().IsTotal());
+}
+
+}  // namespace
+}  // namespace nomsky

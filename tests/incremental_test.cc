@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/adaptive_sfs.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Recomputes SKY(template) among live rows from scratch.
+std::vector<RowId> GroundTruthSkyline(const Dataset& data,
+                                      const PreferenceProfile& tmpl,
+                                      const std::vector<bool>& alive) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    if (alive[r]) rows.push_back(r);
+  }
+  DominanceComparator cmp(data, tmpl);
+  return Sorted(NaiveSkyline(cmp, rows));
+}
+
+TEST(IncrementalTest, StartsEqualToBatch) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.seed = 1;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  std::vector<RowId> batch =
+      Sorted(SfsSkyline(data, tmpl, AllRows(data.num_rows())));
+  IncrementalAdaptiveSfs inc(std::move(data), tmpl);
+  EXPECT_EQ(Sorted(inc.TemplateSkyline()), batch);
+  EXPECT_EQ(inc.num_live(), 200u);
+}
+
+TEST(IncrementalTest, InsertDominatedTupleChangesNothing) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0}, {0}}).ok());
+  IncrementalAdaptiveSfs inc(std::move(data), PreferenceProfile(s));
+  auto before = Sorted(inc.TemplateSkyline());
+  ASSERT_TRUE(inc.Insert({{2.0}, {0}}).ok());  // dominated by row 0
+  EXPECT_EQ(Sorted(inc.TemplateSkyline()), before);
+}
+
+TEST(IncrementalTest, InsertDominatingTupleDemotesOld) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{5.0}, {0}}).ok());
+  IncrementalAdaptiveSfs inc(std::move(data), PreferenceProfile(s));
+  RowId fresh = inc.Insert({{1.0}, {0}}).ValueOrDie();
+  EXPECT_EQ(Sorted(inc.TemplateSkyline()), (std::vector<RowId>{fresh}));
+}
+
+TEST(IncrementalTest, DeletePromotesShadowedTuple) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0}, {0}}).ok());  // 0: skyline
+  ASSERT_TRUE(data.Append({{2.0}, {0}}).ok());  // 1: shadowed by 0
+  ASSERT_TRUE(data.Append({{3.0}, {0}}).ok());  // 2: shadowed by 0 and 1
+  IncrementalAdaptiveSfs inc(std::move(data), PreferenceProfile(s));
+  EXPECT_EQ(Sorted(inc.TemplateSkyline()), (std::vector<RowId>{0}));
+  ASSERT_TRUE(inc.Delete(0).ok());
+  // Only row 1 is promoted: row 2 remains dominated by row 1.
+  EXPECT_EQ(Sorted(inc.TemplateSkyline()), (std::vector<RowId>{1}));
+  EXPECT_EQ(inc.num_live(), 2u);
+}
+
+TEST(IncrementalTest, DeleteValidation) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{1.0}, {0}}).ok());
+  IncrementalAdaptiveSfs inc(std::move(data), PreferenceProfile(s));
+  EXPECT_TRUE(inc.Delete(5).IsNotFound());
+  ASSERT_TRUE(inc.Delete(0).ok());
+  EXPECT_TRUE(inc.Delete(0).IsNotFound()) << "double delete must fail";
+}
+
+// Property: after any random update sequence, the maintained skyline and
+// query results equal a from-scratch recomputation.
+TEST(IncrementalTest, RandomizedUpdatesMatchRebuild) {
+  gen::GenConfig config;
+  config.num_rows = 150;
+  config.cardinality = 4;
+  config.seed = 42;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  const Schema schema = data.schema();
+
+  IncrementalAdaptiveSfs inc(std::move(data), tmpl);
+  std::vector<bool> alive(150, true);
+  Rng rng(43);
+  ZipfDistribution zipf(config.cardinality, 1.0);
+
+  for (int step = 0; step < 60; ++step) {
+    if (rng.UniformInt(2) == 0) {
+      // Insert a random tuple.
+      RowValues row;
+      for (size_t i = 0; i < schema.num_numeric(); ++i) {
+        row.numeric.push_back(rng.UniformDouble());
+      }
+      for (size_t j = 0; j < schema.num_nominal(); ++j) {
+        row.nominal.push_back(zipf.Sample(&rng));
+      }
+      RowId r = inc.Insert(row).ValueOrDie();
+      if (alive.size() <= r) alive.resize(r + 1, false);
+      alive[r] = true;
+    } else {
+      // Delete a random live tuple.
+      std::vector<RowId> live;
+      for (RowId r = 0; r < alive.size(); ++r) {
+        if (alive[r]) live.push_back(r);
+      }
+      if (live.empty()) continue;
+      RowId victim = live[rng.UniformInt(live.size())];
+      ASSERT_TRUE(inc.Delete(victim).ok());
+      alive[victim] = false;
+    }
+
+    if (step % 10 == 9) {
+      EXPECT_EQ(Sorted(inc.TemplateSkyline()),
+                GroundTruthSkyline(inc.data(), tmpl, alive))
+          << "step " << step;
+      // Also check a refined query against ground truth.
+      PreferenceProfile query =
+          gen::RandomImplicitQuery(inc.data(), tmpl, 2, &rng);
+      auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+      std::vector<RowId> live_rows;
+      for (RowId r = 0; r < alive.size(); ++r) {
+        if (alive[r]) live_rows.push_back(r);
+      }
+      DominanceComparator cmp(inc.data(), combined);
+      EXPECT_EQ(Sorted(inc.Query(query).ValueOrDie()),
+                Sorted(NaiveSkyline(cmp, live_rows)))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(IncrementalTest, QueryAfterUpdatesIsConsistent) {
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.seed = 77;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  IncrementalAdaptiveSfs inc(std::move(data), tmpl);
+  Rng rng(78);
+  PreferenceProfile query = gen::RandomImplicitQuery(inc.data(), tmpl, 2, &rng);
+  auto before = inc.Query(query).ValueOrDie();
+  // Deleting every current skyline answer forces full promotion paths.
+  for (RowId r : before) ASSERT_TRUE(inc.Delete(r).ok());
+  auto after = Sorted(inc.Query(query).ValueOrDie());
+  for (RowId r : before) {
+    EXPECT_FALSE(std::binary_search(after.begin(), after.end(), r));
+  }
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,174 @@
+#include "mdc/mdc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+namespace {
+
+// Builds the effective preference profile of an IPO-tree node: first-order
+// choices replace the template on chosen dims, the template governs others.
+PreferenceProfile EffectiveProfile(const Schema& schema,
+                                   const PreferenceProfile& tmpl,
+                                   const EffectiveChoices& choices) {
+  PreferenceProfile eff = tmpl;
+  for (size_t j = 0; j < choices.size(); ++j) {
+    if (choices[j] != kInvalidValue) {
+      size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+      EXPECT_TRUE(
+          eff.SetPref(j, ImplicitPreference::Make(c, {choices[j]}).ValueOrDie())
+              .ok());
+    }
+  }
+  return eff;
+}
+
+TEST(MdcTest, DominatorPoolIsNumericSkyline) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.cardinality = 4;
+  config.seed = 10;
+  Dataset data = gen::Generate(config);
+  std::vector<RowId> pool = MdcIndex::BuildDominatorPool(data);
+  // Pool = skyline with empty nominal preferences: verify against naive.
+  PreferenceProfile empty(data.schema());
+  DominanceComparator cmp(data, empty);
+  std::vector<RowId> expected = NaiveSkyline(cmp, AllRows(config.num_rows));
+  std::sort(pool.begin(), pool.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pool, expected);
+}
+
+// Ground truth: a skyline point p of S is disqualified at a node iff some
+// point of the FULL dataset dominates it under the node's effective profile.
+TEST(MdcTest, DisqualifiedMatchesFullDatasetDominance) {
+  gen::GenConfig config;
+  config.num_rows = 250;
+  config.cardinality = 4;
+  config.num_nominal = 2;
+  config.seed = 21;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  std::vector<RowId> skyline =
+      SfsSkyline(data, tmpl, AllRows(config.num_rows));
+  std::sort(skyline.begin(), skyline.end());
+  std::vector<RowId> pool = MdcIndex::BuildDominatorPool(data);
+  MdcIndex mdc(data, tmpl, skyline, pool);
+
+  // Try every 1- and 2-dim first-order choice combination.
+  const size_t c = config.cardinality;
+  std::vector<EffectiveChoices> nodes;
+  for (ValueId v = 0; v < c; ++v) {
+    nodes.push_back({v, kInvalidValue});
+    nodes.push_back({kInvalidValue, v});
+    for (ValueId w = 0; w < c; ++w) nodes.push_back({v, w});
+  }
+  for (const EffectiveChoices& choices : nodes) {
+    PreferenceProfile eff = EffectiveProfile(data.schema(), tmpl, choices);
+    DominanceComparator cmp(data, eff);
+    for (size_t pi = 0; pi < skyline.size(); ++pi) {
+      bool truth = false;
+      for (RowId q = 0; q < data.num_rows(); ++q) {
+        if (q != skyline[pi] &&
+            cmp.Compare(q, skyline[pi]) == DomResult::kLeftDominates) {
+          truth = true;
+          break;
+        }
+      }
+      EXPECT_EQ(mdc.Disqualified(pi, choices), truth)
+          << "point " << skyline[pi] << " choices (" << choices[0] << ","
+          << choices[1] << ")";
+    }
+  }
+}
+
+TEST(MdcTest, ConditionsAreMinimal) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.cardinality = 4;
+  config.seed = 33;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  std::vector<RowId> skyline = SfsSkyline(data, tmpl, AllRows(config.num_rows));
+  std::sort(skyline.begin(), skyline.end());
+  MdcIndex mdc(data, tmpl, skyline, MdcIndex::BuildDominatorPool(data));
+  for (size_t pi = 0; pi < mdc.num_points(); ++pi) {
+    const auto& conds = mdc.conditions(pi);
+    for (size_t a = 0; a < conds.size(); ++a) {
+      for (size_t b = 0; b < conds.size(); ++b) {
+        if (a == b) continue;
+        EXPECT_FALSE(std::includes(conds[b].begin(), conds[b].end(),
+                                   conds[a].begin(), conds[a].end()) &&
+                     conds[a].size() < conds[b].size())
+            << "condition " << b << " of point " << pi
+            << " is a superset of condition " << a;
+      }
+    }
+  }
+}
+
+TEST(MdcTest, TemplateSkylinePointsNotDisqualifiedAtTemplateNode) {
+  // With no choices anywhere (all template), nothing in S is disqualified.
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.seed = 44;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  std::vector<RowId> skyline = SfsSkyline(data, tmpl, AllRows(config.num_rows));
+  std::sort(skyline.begin(), skyline.end());
+  MdcIndex mdc(data, tmpl, skyline, MdcIndex::BuildDominatorPool(data));
+  EffectiveChoices none(data.schema().num_nominal(), kInvalidValue);
+  for (size_t pi = 0; pi < mdc.num_points(); ++pi) {
+    EXPECT_FALSE(mdc.Disqualified(pi, none)) << "skyline point " << pi;
+  }
+}
+
+TEST(MdcTest, EmptyTemplateToo) {
+  gen::GenConfig config;
+  config.num_rows = 150;
+  config.cardinality = 3;
+  config.seed = 55;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl(data.schema());  // empty template
+  std::vector<RowId> skyline = SfsSkyline(data, tmpl, AllRows(config.num_rows));
+  std::sort(skyline.begin(), skyline.end());
+  MdcIndex mdc(data, tmpl, skyline, MdcIndex::BuildDominatorPool(data));
+  for (ValueId v = 0; v < 3; ++v) {
+    EffectiveChoices choices = {v, kInvalidValue};
+    PreferenceProfile eff = EffectiveProfile(data.schema(), tmpl, choices);
+    DominanceComparator cmp(data, eff);
+    for (size_t pi = 0; pi < skyline.size(); ++pi) {
+      bool truth = false;
+      for (RowId q = 0; q < data.num_rows(); ++q) {
+        if (q != skyline[pi] &&
+            cmp.Compare(q, skyline[pi]) == DomResult::kLeftDominates) {
+          truth = true;
+          break;
+        }
+      }
+      EXPECT_EQ(mdc.Disqualified(pi, choices), truth);
+    }
+  }
+}
+
+TEST(MdcTest, MemoryAndCounts) {
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.seed = 66;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  std::vector<RowId> skyline = SfsSkyline(data, tmpl, AllRows(config.num_rows));
+  std::sort(skyline.begin(), skyline.end());
+  MdcIndex mdc(data, tmpl, skyline, MdcIndex::BuildDominatorPool(data));
+  EXPECT_EQ(mdc.num_points(), skyline.size());
+  EXPECT_GT(mdc.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,98 @@
+// Coverage for the smaller substrate pieces not exercised directly
+// elsewhere: the nominal bitmap index, preference-parsing edge cases, and
+// profile pair counting.
+
+#include <gtest/gtest.h>
+
+#include "core/ipo_bitmap.h"
+#include "datagen/generator.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+namespace {
+
+TEST(NominalBitmapIndexTest, BitmapsPartitionTheUniverse) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.cardinality = 6;
+  config.seed = 41;
+  Dataset data = gen::Generate(config);
+  // Universe: every other row.
+  std::vector<RowId> universe;
+  for (RowId r = 0; r < data.num_rows(); r += 2) universe.push_back(r);
+  NominalBitmapIndex index(data, universe);
+  ASSERT_EQ(index.universe_size(), universe.size());
+
+  for (size_t j = 0; j < data.schema().num_nominal(); ++j) {
+    // Each position belongs to exactly one value's bitmap, and that value
+    // is the row's actual value.
+    DynamicBitset seen(universe.size());
+    size_t total = 0;
+    for (ValueId v = 0; v < config.cardinality; ++v) {
+      const DynamicBitset& bm = index.bitmap(j, v);
+      ASSERT_EQ(bm.size(), universe.size());
+      bm.ForEachSetBit([&](size_t pos) {
+        EXPECT_FALSE(seen.test(pos)) << "position in two bitmaps";
+        seen.set(pos);
+        EXPECT_EQ(data.nominal_column(j)[universe[pos]], v);
+      });
+      total += bm.count();
+    }
+    EXPECT_EQ(total, universe.size()) << "bitmaps must cover the universe";
+  }
+}
+
+TEST(NominalBitmapIndexTest, EmptyUniverse) {
+  gen::GenConfig config;
+  config.num_rows = 10;
+  config.seed = 42;
+  Dataset data = gen::Generate(config);
+  NominalBitmapIndex index(data, {});
+  EXPECT_EQ(index.universe_size(), 0u);
+  EXPECT_EQ(index.bitmap(0, 0).count(), 0u);
+  EXPECT_GE(index.MemoryUsage(), 0u);
+}
+
+TEST(ParseEdgeCasesTest, DuplicateValueRejected) {
+  Dimension dim = Dimension::Nominal("g", {"T", "H", "M"});
+  EXPECT_TRUE(
+      ImplicitPreference::Parse(dim, "T<T<*").status().IsInvalidArgument());
+}
+
+TEST(ParseEdgeCasesTest, EntriesAfterStarIgnored) {
+  // "*" terminates the list: anything after it is not consulted.
+  Dimension dim = Dimension::Nominal("g", {"T", "H", "M"});
+  auto pref = ImplicitPreference::Parse(dim, "T<*").ValueOrDie();
+  EXPECT_EQ(pref.order(), 1u);
+}
+
+TEST(ParseEdgeCasesTest, NumericDimensionRejected) {
+  Dimension dim = Dimension::Numeric("price");
+  EXPECT_TRUE(
+      ImplicitPreference::Parse(dim, "1<2").status().IsInvalidArgument());
+}
+
+TEST(ProfilePairsTest, FullOrderPairCount) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b", "c", "d"}).ok());
+  auto p = PreferenceProfile::Parse(s, {{"g", "a<b<c<d"}}).ValueOrDie();
+  // Full order over 4 values: C(4,2) = 6 pairs.
+  EXPECT_EQ(p.NumExpandedPairs(), 6u);
+}
+
+TEST(ProfilePairsTest, FirstOrderPairCount) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b", "c", "d", "e"}).ok());
+  auto p = PreferenceProfile::Parse(s, {{"g", "c<*"}}).ValueOrDie();
+  // One listed value vs 4 others.
+  EXPECT_EQ(p.NumExpandedPairs(), 4u);
+}
+
+TEST(DimensionTest, CardinalityOfNumericIsZero) {
+  Dimension d = Dimension::Numeric("x");
+  EXPECT_EQ(d.cardinality(), 0u);
+  EXPECT_TRUE(d.dictionary().empty());
+}
+
+}  // namespace
+}  // namespace nomsky

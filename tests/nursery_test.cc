@@ -1,0 +1,120 @@
+#include "datagen/nursery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+#include "skyline/naive.h"
+#include "skyline/sfs_direct.h"
+
+namespace nomsky {
+namespace {
+
+TEST(NurseryTest, SchemaShape) {
+  Schema s = gen::NurserySchema();
+  EXPECT_EQ(s.num_dims(), 8u);
+  EXPECT_EQ(s.num_numeric(), 6u);
+  EXPECT_EQ(s.num_nominal(), 2u);
+  // Paper Section 5.2: both nominal attributes have cardinality 4.
+  for (DimId d : s.nominal_dims()) {
+    EXPECT_EQ(s.dim(d).cardinality(), 4u);
+  }
+  EXPECT_EQ(s.FindDim("form").ValueOrDie(), 2u);
+  EXPECT_EQ(s.FindDim("children").ValueOrDie(), 3u);
+}
+
+TEST(NurseryTest, ExactRowCount) {
+  Dataset data = gen::NurseryDataset();
+  EXPECT_EQ(data.num_rows(), 12960u);  // 3*5*4*4*3*2*3*3
+}
+
+TEST(NurseryTest, IsCompleteCartesianProduct) {
+  Dataset data = gen::NurseryDataset();
+  std::set<std::vector<double>> seen_numeric_nominal;
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    RowValues row = data.GetRow(r);
+    std::vector<double> key = row.numeric;
+    key.push_back(row.nominal[0]);
+    key.push_back(row.nominal[1]);
+    seen_numeric_nominal.insert(std::move(key));
+  }
+  EXPECT_EQ(seen_numeric_nominal.size(), 12960u) << "all rows distinct";
+}
+
+TEST(NurseryTest, DomainSizes) {
+  Dataset data = gen::NurseryDataset();
+  const Schema& s = data.schema();
+  // parents: 3 values 0..2; has_nurs: 5 values 0..4; etc.
+  auto distinct = [&](size_t numeric_idx) {
+    std::set<double> values(data.numeric_column(numeric_idx).begin(),
+                            data.numeric_column(numeric_idx).end());
+    return values.size();
+  };
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("parents").ValueOrDie())), 3u);
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("has_nurs").ValueOrDie())), 5u);
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("housing").ValueOrDie())), 3u);
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("finance").ValueOrDie())), 2u);
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("social").ValueOrDie())), 3u);
+  EXPECT_EQ(distinct(s.typed_index(s.FindDim("health").ValueOrDie())), 3u);
+}
+
+TEST(NurseryTest, EachValueCountMatchesProductStructure) {
+  Dataset data = gen::NurseryDataset();
+  // "form" has 4 values; each must appear exactly 12960/4 times.
+  std::vector<size_t> counts = data.ValueCounts(2);
+  for (size_t c : counts) EXPECT_EQ(c, 12960u / 4);
+  counts = data.ValueCounts(3);
+  for (size_t c : counts) EXPECT_EQ(c, 12960u / 4);
+}
+
+TEST(NurseryTest, EnginesAgreeOnNurserySubset) {
+  // A deterministic 1/9 subsample keeps the test fast while exercising the
+  // real-data schema (6 totally ordered + 2 nominal dims) end to end.
+  Dataset full = gen::NurseryDataset();
+  Dataset data(full.schema());
+  for (RowId r = 0; r < full.num_rows(); r += 9) {
+    ASSERT_TRUE(data.Append(full.GetRow(r)).ok());
+  }
+  PreferenceProfile tmpl(data.schema());
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  SfsDirect sfsd(data, tmpl);
+
+  const std::vector<std::pair<std::string, std::string>> queries[] = {
+      {},
+      {{"form", "complete<*"}},
+      {{"form", "foster<incomplete<*"}, {"children", "more<*"}},
+      {{"children", "1<2<3<more"}},
+  };
+  for (const auto& prefs : queries) {
+    auto q = PreferenceProfile::Parse(data.schema(), prefs).ValueOrDie();
+    auto combined = q.CombineWithTemplate(tmpl).ValueOrDie();
+    DominanceComparator cmp(data, combined);
+    std::vector<RowId> truth = NaiveSkyline(cmp, AllRows(data.num_rows()));
+    std::sort(truth.begin(), truth.end());
+    auto check = [&](Result<std::vector<RowId>> result, const char* name) {
+      ASSERT_TRUE(result.ok()) << name;
+      std::sort(result->begin(), result->end());
+      EXPECT_EQ(*result, truth) << name;
+    };
+    check(tree.Query(q), "IPO tree");
+    check(asfs.Query(q), "SFS-A");
+    check(sfsd.Query(q), "SFS-D");
+  }
+}
+
+TEST(NurseryTest, DictionaryValuesNamed) {
+  Schema s = gen::NurserySchema();
+  const Dimension& form = s.dim(2);
+  EXPECT_EQ(form.ValueIdOf("complete").ValueOrDie(), 0u);
+  EXPECT_EQ(form.ValueIdOf("foster").ValueOrDie(), 3u);
+  const Dimension& children = s.dim(3);
+  EXPECT_EQ(children.ValueIdOf("1").ValueOrDie(), 0u);
+  EXPECT_EQ(children.ValueIdOf("more").ValueOrDie(), 3u);
+}
+
+}  // namespace
+}  // namespace nomsky

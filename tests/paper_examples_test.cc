@@ -1,0 +1,172 @@
+// End-to-end checks of every worked example in the paper: Tables 1-3,
+// Figure 1 (merging property example), Figure 2 (IPO-tree contents) and
+// Example 1 (query evaluation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+#include "skyline/naive.h"
+#include "skyline/sfs_direct.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+constexpr RowId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+
+Dataset Table1() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("hotel_class", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  Dataset data(s);
+  EXPECT_TRUE(data.Append({{1600, 4}, {0}}).ok());
+  EXPECT_TRUE(data.Append({{2400, 1}, {0}}).ok());
+  EXPECT_TRUE(data.Append({{3000, 5}, {1}}).ok());
+  EXPECT_TRUE(data.Append({{3600, 4}, {1}}).ok());
+  EXPECT_TRUE(data.Append({{2400, 2}, {2}}).ok());
+  EXPECT_TRUE(data.Append({{3000, 3}, {2}}).ok());
+  return data;
+}
+
+Dataset Table3() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("hotel_class", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  EXPECT_TRUE(s.AddNominal("airline", {"G", "R", "W"}).ok());
+  Dataset data(s);
+  EXPECT_TRUE(data.Append({{1600, 4}, {0, 0}}).ok());
+  EXPECT_TRUE(data.Append({{2400, 1}, {0, 0}}).ok());
+  EXPECT_TRUE(data.Append({{3000, 5}, {1, 0}}).ok());
+  EXPECT_TRUE(data.Append({{3600, 4}, {1, 1}}).ok());
+  EXPECT_TRUE(data.Append({{2400, 2}, {2, 1}}).ok());
+  EXPECT_TRUE(data.Append({{3000, 3}, {2, 2}}).ok());
+  return data;
+}
+
+std::vector<RowId> SkylineFor(const Dataset& data,
+                              const std::string& hotel_pref) {
+  auto pref =
+      PreferenceProfile::Parse(data.schema(), {{"hotel_group", hotel_pref}})
+          .ValueOrDie();
+  DominanceComparator cmp(data, pref);
+  return Sorted(NaiveSkyline(cmp, AllRows(data.num_rows())));
+}
+
+TEST(PaperExamples, Table2AllSixCustomers) {
+  Dataset data = Table1();
+  EXPECT_EQ(SkylineFor(data, "T<M<*"), (std::vector<RowId>{kA, kC}));  // Alice
+  EXPECT_EQ(SkylineFor(data, "*"), (std::vector<RowId>{kA, kC, kE, kF}));  // Bob
+  EXPECT_EQ(SkylineFor(data, "H<M<*"), (std::vector<RowId>{kA, kC, kE}));  // Chris
+  EXPECT_EQ(SkylineFor(data, "H<M<T"), (std::vector<RowId>{kA, kC, kE}));  // David
+  EXPECT_EQ(SkylineFor(data, "H<T<*"), (std::vector<RowId>{kA, kC}));  // Emily
+  EXPECT_EQ(SkylineFor(data, "M<*"), (std::vector<RowId>{kA, kC, kE, kF}));  // Fred
+}
+
+TEST(PaperExamples, Figure1MergingProperty) {
+  // R' = "M ≺ *": SKY1 = {a,c,e,f};  R'' = "H ≺ *": SKY2 = {a,c,e};
+  // PSKY1 (Hotel-group in {M}) = {e,f};
+  // R''' = "M ≺ H ≺ *": SKY3 = (SKY1 ∩ SKY2) ∪ PSKY1 = {a,c,e,f}.
+  Dataset data = Table1();
+  std::vector<RowId> sky1 = SkylineFor(data, "M<*");
+  std::vector<RowId> sky2 = SkylineFor(data, "H<*");
+  EXPECT_EQ(sky1, (std::vector<RowId>{kA, kC, kE, kF}));
+  EXPECT_EQ(sky2, (std::vector<RowId>{kA, kC, kE}));
+
+  std::vector<RowId> psky1;
+  for (RowId r : sky1) {
+    if (data.nominal(2, r) == 2 /* M */) psky1.push_back(r);
+  }
+  EXPECT_EQ(psky1, (std::vector<RowId>{kE, kF}));
+
+  std::vector<RowId> inter;
+  std::set_intersection(sky1.begin(), sky1.end(), sky2.begin(), sky2.end(),
+                        std::back_inserter(inter));
+  std::vector<RowId> merged;
+  std::set_union(inter.begin(), inter.end(), psky1.begin(), psky1.end(),
+                 std::back_inserter(merged));
+  EXPECT_EQ(merged, SkylineFor(data, "M<H<*"));
+  EXPECT_EQ(merged, (std::vector<RowId>{kA, kC, kE, kF}));
+}
+
+TEST(PaperExamples, Figure2RootSkyline) {
+  // Root of the IPO-tree over Table 3 with template ∅: S = {a,c,d,e,f}.
+  Dataset data = Table3();
+  PreferenceProfile tmpl(data.schema());
+  IpoTreeEngine tree(data, tmpl);
+  EXPECT_EQ(tree.template_skyline(), (std::vector<RowId>{kA, kC, kD, kE, kF}));
+}
+
+TEST(PaperExamples, Figure2Node6DisqualifiedSet) {
+  // Node 6 is "T ≺ *, G ≺ *" with A = {d, e, f}: verify S − A = skyline.
+  Dataset data = Table3();
+  auto pref = PreferenceProfile::Parse(
+                  data.schema(), {{"hotel_group", "T<*"}, {"airline", "G<*"}})
+                  .ValueOrDie();
+  DominanceComparator cmp(data, pref);
+  std::vector<RowId> sky = Sorted(NaiveSkyline(cmp, AllRows(6)));
+  EXPECT_EQ(sky, (std::vector<RowId>{kA, kC}));
+  // S = {a,c,d,e,f}, so A = S − {a,c} = {d,e,f} as in the figure.
+}
+
+TEST(PaperExamples, Example1AllFourQueriesOnAllEngines) {
+  Dataset data = Table3();
+  PreferenceProfile tmpl(data.schema());
+  IpoTreeEngine tree(data, tmpl);
+  AdaptiveSfsEngine asfs(data, tmpl);
+  SfsDirect sfsd(data, tmpl);
+
+  const std::vector<
+      std::pair<std::vector<std::pair<std::string, std::string>>,
+                std::vector<RowId>>>
+      cases = {
+          {{{"hotel_group", "M<*"}}, {kA, kC, kD, kE, kF}},           // QA
+          {{{"hotel_group", "M<*"}, {"airline", "G<*"}},              // QB
+           {kA, kC, kE, kF}},
+          {{{"hotel_group", "M<H<*"}, {"airline", "G<*"}},            // QC
+           {kA, kC, kE, kF}},
+          {{{"hotel_group", "M<H<*"}, {"airline", "G<R<*"}},          // QD
+           {kA, kC, kE, kF}},
+      };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    auto q = PreferenceProfile::Parse(data.schema(), cases[i].first)
+                 .ValueOrDie();
+    EXPECT_EQ(Sorted(tree.Query(q).ValueOrDie()), cases[i].second)
+        << "IPO tree, Q" << static_cast<char>('A' + i);
+    EXPECT_EQ(Sorted(asfs.Query(q).ValueOrDie()), cases[i].second)
+        << "SFS-A, Q" << static_cast<char>('A' + i);
+    EXPECT_EQ(Sorted(sfsd.Query(q).ValueOrDie()), cases[i].second)
+        << "SFS-D, Q" << static_cast<char>('A' + i);
+  }
+}
+
+TEST(PaperExamples, RefinementExampleFromSection2) {
+  // R = {(T,M)}, R' = {(T,M),(H,M)}: R ⊆ R', R' stronger than R.
+  PartialOrder r(3), r_prime(3);
+  // ids: T=0, H=1, M=2.
+  ASSERT_TRUE(r.AddPair(0, 2).ok());
+  ASSERT_TRUE(r_prime.AddPair(0, 2).ok());
+  ASSERT_TRUE(r_prime.AddPair(1, 2).ok());
+  EXPECT_TRUE(r_prime.IsRefinementOf(r));
+  EXPECT_FALSE(r.IsRefinementOf(r_prime));
+}
+
+TEST(PaperExamples, ImplicitPreferenceExpansionFromSection2) {
+  // "H ≺ M ≺ *" over {T,H,M} = {(H,M),(H,T),(M,T)}.
+  auto pref = ImplicitPreference::Make(3, {1, 2}).ValueOrDie();
+  std::vector<OrderPair> pairs = pref.Pairs();
+  std::vector<OrderPair> expected = {{1, 0}, {1, 2}, {2, 0}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pairs, expected);
+}
+
+}  // namespace
+}  // namespace nomsky

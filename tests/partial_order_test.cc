@@ -1,0 +1,166 @@
+#include "order/partial_order.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nomsky {
+namespace {
+
+TEST(PartialOrderTest, EmptyOrder) {
+  PartialOrder o(4);
+  EXPECT_EQ(o.cardinality(), 4u);
+  EXPECT_TRUE(o.IsEmpty());
+  EXPECT_EQ(o.NumPairs(), 0u);
+  EXPECT_FALSE(o.Contains(0, 1));
+}
+
+TEST(PartialOrderTest, AddPairReflectsContains) {
+  PartialOrder o(3);
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  EXPECT_TRUE(o.Contains(0, 1));
+  EXPECT_FALSE(o.Contains(1, 0));
+  EXPECT_EQ(o.NumPairs(), 1u);
+}
+
+TEST(PartialOrderTest, TransitiveClosureOnAdd) {
+  PartialOrder o(4);
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  ASSERT_TRUE(o.AddPair(1, 2).ok());
+  EXPECT_TRUE(o.Contains(0, 2)) << "0≺1≺2 must imply 0≺2";
+  ASSERT_TRUE(o.AddPair(2, 3).ok());
+  EXPECT_TRUE(o.Contains(0, 3));
+  EXPECT_TRUE(o.Contains(1, 3));
+  EXPECT_EQ(o.NumPairs(), 6u);  // total order on 4 values
+  EXPECT_TRUE(o.IsTotal());
+}
+
+TEST(PartialOrderTest, ClosureWhenJoiningChains) {
+  // Two chains 0≺1 and 2≺3; linking 1≺2 must close 0≺2, 0≺3, 1≺3.
+  PartialOrder o(4);
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  ASSERT_TRUE(o.AddPair(2, 3).ok());
+  EXPECT_FALSE(o.Contains(0, 3));
+  ASSERT_TRUE(o.AddPair(1, 2).ok());
+  EXPECT_TRUE(o.Contains(0, 2));
+  EXPECT_TRUE(o.Contains(0, 3));
+  EXPECT_TRUE(o.Contains(1, 3));
+}
+
+TEST(PartialOrderTest, CycleRejected) {
+  PartialOrder o(3);
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  ASSERT_TRUE(o.AddPair(1, 2).ok());
+  EXPECT_TRUE(o.AddPair(2, 0).IsConflict());
+  EXPECT_TRUE(o.AddPair(1, 0).IsConflict());
+  // The failed adds must not have corrupted the order.
+  EXPECT_TRUE(o.Contains(0, 2));
+  EXPECT_FALSE(o.Contains(2, 0));
+}
+
+TEST(PartialOrderTest, SelfPairRejected) {
+  PartialOrder o(3);
+  EXPECT_TRUE(o.AddPair(1, 1).IsInvalidArgument());
+}
+
+TEST(PartialOrderTest, OutOfDomainRejected) {
+  PartialOrder o(3);
+  EXPECT_TRUE(o.AddPair(0, 3).IsInvalidArgument());
+  EXPECT_TRUE(o.AddPair(5, 0).IsInvalidArgument());
+}
+
+TEST(PartialOrderTest, DuplicateAddIsNoOp) {
+  PartialOrder o(3);
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  EXPECT_EQ(o.NumPairs(), 1u);
+}
+
+TEST(PartialOrderTest, FromPairs) {
+  auto o = PartialOrder::FromPairs(4, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(o.ok());
+  EXPECT_TRUE(o->Contains(0, 2));
+  auto bad = PartialOrder::FromPairs(3, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(bad.status().IsConflict());
+}
+
+TEST(PartialOrderTest, RefinementContainment) {
+  PartialOrder weak(4), strong(4);
+  ASSERT_TRUE(weak.AddPair(0, 1).ok());
+  ASSERT_TRUE(strong.AddPair(0, 1).ok());
+  ASSERT_TRUE(strong.AddPair(2, 1).ok());
+  EXPECT_TRUE(strong.IsRefinementOf(weak));
+  EXPECT_FALSE(weak.IsRefinementOf(strong));
+  EXPECT_TRUE(weak.IsRefinementOf(weak)) << "refinement is reflexive";
+}
+
+TEST(PartialOrderTest, ConflictFree) {
+  // Definition 1: R, R' conflict-free iff no (u,v) in R with (v,u) in R'.
+  PartialOrder a(3), b(3), c(3);
+  ASSERT_TRUE(a.AddPair(0, 1).ok());
+  ASSERT_TRUE(b.AddPair(2, 1).ok());
+  ASSERT_TRUE(c.AddPair(1, 0).ok());
+  EXPECT_TRUE(a.ConflictFreeWith(b));
+  EXPECT_TRUE(b.ConflictFreeWith(a));
+  EXPECT_FALSE(a.ConflictFreeWith(c));
+  EXPECT_FALSE(c.ConflictFreeWith(a));
+}
+
+TEST(PartialOrderTest, UnionMergesAndCloses) {
+  PartialOrder a(4), b(4);
+  ASSERT_TRUE(a.AddPair(0, 1).ok());
+  ASSERT_TRUE(b.AddPair(1, 2).ok());
+  auto u = a.UnionWith(b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->Contains(0, 1));
+  EXPECT_TRUE(u->Contains(1, 2));
+  EXPECT_TRUE(u->Contains(0, 2)) << "union must be transitively closed";
+}
+
+TEST(PartialOrderTest, UnionDetectsChainedCycle) {
+  // a: 0≺1, b: 1≺0 — conflict only visible in the union.
+  PartialOrder a(3), b(3);
+  ASSERT_TRUE(a.AddPair(0, 1).ok());
+  ASSERT_TRUE(b.AddPair(1, 2).ok());
+  ASSERT_TRUE(b.AddPair(2, 0).ok());
+  EXPECT_TRUE(a.UnionWith(b).status().IsConflict());
+}
+
+TEST(PartialOrderTest, PairsEnumeration) {
+  PartialOrder o(3);
+  ASSERT_TRUE(o.AddPair(2, 0).ok());
+  ASSERT_TRUE(o.AddPair(0, 1).ok());
+  std::vector<OrderPair> pairs = o.Pairs();
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (OrderPair{0, 1}));
+  EXPECT_EQ(pairs[1], (OrderPair{2, 0}));
+  EXPECT_EQ(pairs[2], (OrderPair{2, 1}));
+}
+
+TEST(PartialOrderTest, RandomizedClosureIsTransitive) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t c = 3 + rng.UniformInt(8);
+    PartialOrder o(c);
+    for (int k = 0; k < 12; ++k) {
+      ValueId u = static_cast<ValueId>(rng.UniformInt(c));
+      ValueId v = static_cast<ValueId>(rng.UniformInt(c));
+      if (u != v) (void)o.AddPair(u, v);  // conflicts allowed to fail
+    }
+    // Transitivity: u≺v and v≺w imply u≺w. Irreflexivity; asymmetry.
+    for (ValueId u = 0; u < c; ++u) {
+      EXPECT_FALSE(o.Contains(u, u));
+      for (ValueId v = 0; v < c; ++v) {
+        if (o.Contains(u, v)) EXPECT_FALSE(o.Contains(v, u));
+        for (ValueId w = 0; w < c; ++w) {
+          if (o.Contains(u, v) && o.Contains(v, w)) {
+            EXPECT_TRUE(o.Contains(u, w));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nomsky

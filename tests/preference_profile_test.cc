@@ -1,0 +1,133 @@
+#include "order/preference_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace nomsky {
+namespace {
+
+Schema VacationSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("hotel_class", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  EXPECT_TRUE(s.AddNominal("airline", {"G", "R", "W"}).ok());
+  return s;
+}
+
+TEST(PreferenceProfileTest, DefaultIsEmpty) {
+  Schema s = VacationSchema();
+  PreferenceProfile p(s);
+  EXPECT_EQ(p.num_nominal(), 2u);
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_EQ(p.order(), 0u);
+  EXPECT_EQ(p.pref(0).cardinality(), 3u);
+}
+
+TEST(PreferenceProfileTest, ParseNamedPreferences) {
+  Schema s = VacationSchema();
+  auto p = PreferenceProfile::Parse(
+      s, {{"hotel_group", "M<H<*"}, {"airline", "G<*"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pref(0).choices(), (std::vector<ValueId>{2, 1}));  // M,H
+  EXPECT_EQ(p->pref(1).choices(), (std::vector<ValueId>{0}));     // G
+  EXPECT_EQ(p->order(), 2u);
+}
+
+TEST(PreferenceProfileTest, ParseUnmentionedDimsStayEmpty) {
+  Schema s = VacationSchema();
+  auto p = PreferenceProfile::Parse(s, {{"airline", "R<*"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->pref(0).IsEmpty());
+  EXPECT_FALSE(p->pref(1).IsEmpty());
+}
+
+TEST(PreferenceProfileTest, ParseRejectsNumericDim) {
+  Schema s = VacationSchema();
+  EXPECT_TRUE(PreferenceProfile::Parse(s, {{"price", "T<*"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PreferenceProfileTest, ParseRejectsUnknownDim) {
+  Schema s = VacationSchema();
+  EXPECT_TRUE(
+      PreferenceProfile::Parse(s, {{"nope", "T<*"}}).status().IsNotFound());
+}
+
+TEST(PreferenceProfileTest, SetPrefValidation) {
+  Schema s = VacationSchema();
+  PreferenceProfile p(s);
+  EXPECT_TRUE(
+      p.SetPref(0, ImplicitPreference::Make(3, {1}).ValueOrDie()).ok());
+  EXPECT_TRUE(p.SetPref(5, ImplicitPreference(3)).IsOutOfRange());
+  EXPECT_TRUE(p.SetPref(0, ImplicitPreference(7)).IsInvalidArgument());
+}
+
+TEST(PreferenceProfileTest, RefinementPerDimension) {
+  Schema s = VacationSchema();
+  auto weak = PreferenceProfile::Parse(s, {{"hotel_group", "T<*"}}).ValueOrDie();
+  auto strong =
+      PreferenceProfile::Parse(s, {{"hotel_group", "T<M<*"}, {"airline", "G<*"}})
+          .ValueOrDie();
+  EXPECT_TRUE(strong.IsRefinementOf(weak));
+  EXPECT_FALSE(weak.IsRefinementOf(strong));
+  EXPECT_TRUE(weak.IsRefinementOf(PreferenceProfile(s)));
+}
+
+TEST(PreferenceProfileTest, CombineInheritsTemplateOnEmptyDims) {
+  Schema s = VacationSchema();
+  auto tmpl = PreferenceProfile::Parse(s, {{"hotel_group", "T<*"}}).ValueOrDie();
+  auto query = PreferenceProfile::Parse(s, {{"airline", "R<*"}}).ValueOrDie();
+  auto combined = query.CombineWithTemplate(tmpl);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->pref(0).choices(), (std::vector<ValueId>{0}));  // T from template
+  EXPECT_EQ(combined->pref(1).choices(), (std::vector<ValueId>{1}));  // R from query
+}
+
+TEST(PreferenceProfileTest, CombineAcceptsRefiningQuery) {
+  Schema s = VacationSchema();
+  auto tmpl = PreferenceProfile::Parse(s, {{"hotel_group", "T<*"}}).ValueOrDie();
+  auto query =
+      PreferenceProfile::Parse(s, {{"hotel_group", "T<H<*"}}).ValueOrDie();
+  auto combined = query.CombineWithTemplate(tmpl);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->pref(0).choices(), (std::vector<ValueId>{0, 1}));
+}
+
+TEST(PreferenceProfileTest, CombineRejectsConflictingQuery) {
+  Schema s = VacationSchema();
+  auto tmpl = PreferenceProfile::Parse(s, {{"hotel_group", "T<*"}}).ValueOrDie();
+  auto query =
+      PreferenceProfile::Parse(s, {{"hotel_group", "H<T<*"}}).ValueOrDie();
+  EXPECT_TRUE(query.CombineWithTemplate(tmpl).status().IsConflict());
+}
+
+TEST(PreferenceProfileTest, NumExpandedPairs) {
+  Schema s = VacationSchema();
+  // "M<H<*" over 3 values: (M,H),(M,T),(H,T) = 3 pairs; "G<*": 2 pairs.
+  auto p = PreferenceProfile::Parse(
+               s, {{"hotel_group", "M<H<*"}, {"airline", "G<*"}})
+               .ValueOrDie();
+  EXPECT_EQ(p.NumExpandedPairs(), 5u);
+  EXPECT_EQ(PreferenceProfile(s).NumExpandedPairs(), 0u);
+}
+
+TEST(PreferenceProfileTest, ToStringShowsEveryNominalDim) {
+  Schema s = VacationSchema();
+  auto p = PreferenceProfile::Parse(s, {{"hotel_group", "M<*"}}).ValueOrDie();
+  std::string str = p.ToString(s);
+  EXPECT_NE(str.find("hotel_group: M<*"), std::string::npos);
+  EXPECT_NE(str.find("airline: *"), std::string::npos);
+}
+
+TEST(PreferenceProfileTest, EqualityIsStructural) {
+  Schema s = VacationSchema();
+  auto a = PreferenceProfile::Parse(s, {{"hotel_group", "M<*"}}).ValueOrDie();
+  auto b = PreferenceProfile::Parse(s, {{"hotel_group", "M<*"}}).ValueOrDie();
+  auto c = PreferenceProfile::Parse(s, {{"hotel_group", "H<*"}}).ValueOrDie();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace nomsky

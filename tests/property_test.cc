@@ -1,0 +1,236 @@
+// Property-based tests of the paper's theorems on random inputs:
+//   Theorem 1 (monotonicity of skylines under refinement),
+//   Theorem 2 (merging property),
+//   Property 1 (profile refinement is dimension-wise),
+//   plus engine-level invariants (soundness/completeness of returned sets).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/adaptive_sfs.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<RowId> SkylineUnder(const Dataset& data,
+                                const PreferenceProfile& profile) {
+  DominanceComparator cmp(data, profile);
+  return Sorted(NaiveSkyline(cmp, AllRows(data.num_rows())));
+}
+
+// Draws a random implicit preference profile (not necessarily refining any
+// template) for theorem-level tests.
+PreferenceProfile RandomProfile(const Schema& schema, size_t max_order,
+                                Rng* rng) {
+  PreferenceProfile profile(schema);
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    std::vector<ValueId> values(c);
+    for (size_t v = 0; v < c; ++v) values[v] = static_cast<ValueId>(v);
+    rng->Shuffle(&values);
+    values.resize(rng->UniformInt(std::min(max_order, c) + 1));
+    EXPECT_TRUE(
+        profile.SetPref(j, ImplicitPreference::Make(c, values).ValueOrDie())
+            .ok());
+  }
+  return profile;
+}
+
+// Extends `base` by appending random extra choices per dimension — a strict
+// dimension-wise refinement.
+PreferenceProfile RandomRefinement(const Schema& schema,
+                                   const PreferenceProfile& base, Rng* rng) {
+  PreferenceProfile refined = base;
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    std::vector<ValueId> choices = base.pref(j).choices();
+    std::vector<char> used(c, 0);
+    for (ValueId v : choices) used[v] = 1;
+    std::vector<ValueId> rest;
+    for (ValueId v = 0; v < c; ++v) {
+      if (!used[v]) rest.push_back(v);
+    }
+    rng->Shuffle(&rest);
+    size_t extra = rng->UniformInt(rest.size() + 1);
+    choices.insert(choices.end(), rest.begin(), rest.begin() + extra);
+    EXPECT_TRUE(
+        refined.SetPref(j, ImplicitPreference::Make(c, choices).ValueOrDie())
+            .ok());
+  }
+  return refined;
+}
+
+class TheoremTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TheoremTest, Theorem1Monotonicity) {
+  // If p is not in the skyline w.r.t. R, it is not in the skyline w.r.t.
+  // any refinement R' — i.e. SKY(R') ⊆ SKY(R).
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.cardinality = 5;
+  config.seed = GetParam();
+  Dataset data = gen::Generate(config);
+  Rng rng(GetParam() * 31 + 7);
+  PreferenceProfile weak = RandomProfile(data.schema(), 2, &rng);
+  PreferenceProfile strong = RandomRefinement(data.schema(), weak, &rng);
+  ASSERT_TRUE(strong.IsRefinementOf(weak));
+
+  std::vector<RowId> sky_weak = SkylineUnder(data, weak);
+  std::vector<RowId> sky_strong = SkylineUnder(data, strong);
+  EXPECT_TRUE(std::includes(sky_weak.begin(), sky_weak.end(),
+                            sky_strong.begin(), sky_strong.end()))
+      << "SKY(refinement) must be a subset of SKY(base)";
+}
+
+TEST_P(TheoremTest, Theorem2MergingProperty) {
+  // Random instantiation of the merging property on the first nominal dim.
+  gen::GenConfig config;
+  config.num_rows = 180;
+  config.cardinality = 6;
+  config.seed = GetParam() + 1000;
+  Dataset data = gen::Generate(config);
+  const Schema& schema = data.schema();
+  Rng rng(GetParam() * 17 + 3);
+
+  // Common preferences on the other dimensions.
+  PreferenceProfile common = RandomProfile(schema, 2, &rng);
+
+  // Choice list v1..vx on dim 0 (x ≥ 2, distinct).
+  size_t c = schema.dim(schema.nominal_dims()[0]).cardinality();
+  std::vector<ValueId> values(c);
+  for (size_t v = 0; v < c; ++v) values[v] = static_cast<ValueId>(v);
+  rng.Shuffle(&values);
+  size_t x = 2 + rng.UniformInt(std::min<size_t>(c, 4) - 1);
+  values.resize(x);
+
+  // R̃'  : v1 ≺ ... ≺ v_{x-1} ≺ * on dim 0.
+  PreferenceProfile r_prime = common;
+  ASSERT_TRUE(
+      r_prime
+          .SetPref(0, ImplicitPreference::Make(
+                          c, {values.begin(), values.end() - 1})
+                          .ValueOrDie())
+          .ok());
+  // R̃'' : v_x ≺ * on dim 0.
+  PreferenceProfile r_dprime = common;
+  ASSERT_TRUE(
+      r_dprime.SetPref(0, ImplicitPreference::Make(c, {values.back()})
+                              .ValueOrDie())
+          .ok());
+  // R̃''': v1 ≺ ... ≺ v_x ≺ * on dim 0.
+  PreferenceProfile r_tprime = common;
+  ASSERT_TRUE(
+      r_tprime.SetPref(0, ImplicitPreference::Make(c, values).ValueOrDie())
+          .ok());
+
+  std::vector<RowId> sky1 = SkylineUnder(data, r_prime);
+  std::vector<RowId> sky2 = SkylineUnder(data, r_dprime);
+  std::vector<RowId> sky3 = SkylineUnder(data, r_tprime);
+
+  // PSKY(R̃') = points of SKY(R̃') with dim-0 value in {v1..v_{x-1}}.
+  std::vector<RowId> psky;
+  for (RowId r : sky1) {
+    ValueId v = data.nominal(schema.nominal_dims()[0], r);
+    if (std::find(values.begin(), values.end() - 1, v) != values.end() - 1) {
+      psky.push_back(r);
+    }
+  }
+  std::vector<RowId> inter, merged;
+  std::set_intersection(sky1.begin(), sky1.end(), sky2.begin(), sky2.end(),
+                        std::back_inserter(inter));
+  std::set_union(inter.begin(), inter.end(), psky.begin(), psky.end(),
+                 std::back_inserter(merged));
+  EXPECT_EQ(merged, sky3) << "Theorem 2 merging identity violated (x=" << x
+                          << ")";
+}
+
+TEST_P(TheoremTest, Property1DimensionWiseRefinement) {
+  gen::GenConfig config;
+  config.num_rows = 10;
+  config.seed = GetParam() + 2000;
+  Dataset data = gen::Generate(config);
+  Rng rng(GetParam() * 13 + 1);
+  PreferenceProfile a = RandomProfile(data.schema(), 3, &rng);
+  PreferenceProfile b = RandomProfile(data.schema(), 3, &rng);
+  bool whole = a.IsRefinementOf(b);
+  bool per_dim = true;
+  for (size_t j = 0; j < a.num_nominal(); ++j) {
+    per_dim = per_dim && a.pref(j).IsRefinementOf(b.pref(j));
+  }
+  EXPECT_EQ(whole, per_dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(PropertyTest, SkylineSoundAndComplete) {
+  // Every engine result already covered elsewhere; here: SFS-A result is
+  // sound (no member dominated) and complete (every non-member dominated by
+  // a member) under the combined profile.
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.seed = 4242;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AdaptiveSfsEngine engine(data, tmpl);
+  Rng rng(4243);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+  std::vector<RowId> sky = Sorted(engine.Query(query).ValueOrDie());
+  auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+  DominanceComparator cmp(data, combined);
+  for (RowId p : sky) {
+    for (RowId q = 0; q < data.num_rows(); ++q) {
+      EXPECT_NE(cmp.Compare(q, p), DomResult::kLeftDominates)
+          << q << " dominates skyline member " << p;
+    }
+  }
+  for (RowId p = 0; p < data.num_rows(); ++p) {
+    if (std::binary_search(sky.begin(), sky.end(), p)) continue;
+    bool dominated_by_member = false;
+    for (RowId q : sky) {
+      if (cmp.Compare(q, p) == DomResult::kLeftDominates) {
+        dominated_by_member = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_by_member)
+        << "non-member " << p << " not dominated by any skyline member";
+  }
+}
+
+TEST(PropertyTest, StrongerOrderNeverGrowsSkyline) {
+  // Corollary of Theorem 1 at the engine level: higher-order refinements of
+  // the same random choice sequence yield shrinking (or equal) skylines.
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.cardinality = 8;
+  config.seed = 555;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AdaptiveSfsEngine engine(data, tmpl);
+  Rng rng(556);
+  PreferenceProfile full = gen::RandomImplicitQuery(data, tmpl, 5, &rng);
+  size_t prev_size = SIZE_MAX;
+  for (size_t order = 1; order <= 5; ++order) {
+    PreferenceProfile q(data.schema());
+    for (size_t j = 0; j < full.num_nominal(); ++j) {
+      ASSERT_TRUE(q.SetPref(j, full.pref(j).Prefix(order)).ok());
+    }
+    size_t size = engine.Query(q).ValueOrDie().size();
+    EXPECT_LE(size, prev_size) << "order " << order;
+    prev_size = size;
+  }
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,160 @@
+#include "core/query_history.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/hybrid.h"
+#include "core/ipo_tree.h"
+#include "datagen/generator.h"
+
+namespace nomsky {
+namespace {
+
+Schema SmallSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("x").ok());
+  EXPECT_TRUE(s.AddNominal("g", {"a", "b", "c", "d"}).ok());
+  EXPECT_TRUE(s.AddNominal("h", {"p", "q", "r"}).ok());
+  return s;
+}
+
+PreferenceProfile MakeQuery(const Schema& s,
+                            std::vector<ValueId> g_choices,
+                            std::vector<ValueId> h_choices) {
+  PreferenceProfile q(s);
+  EXPECT_TRUE(
+      q.SetPref(0, ImplicitPreference::Make(4, std::move(g_choices)).ValueOrDie())
+          .ok());
+  EXPECT_TRUE(
+      q.SetPref(1, ImplicitPreference::Make(3, std::move(h_choices)).ValueOrDie())
+          .ok());
+  return q;
+}
+
+TEST(QueryHistoryTest, CountsPerValue) {
+  Schema s = SmallSchema();
+  QueryHistory history(s);
+  history.Record(MakeQuery(s, {0, 1}, {2}));
+  history.Record(MakeQuery(s, {0}, {}));
+  EXPECT_EQ(history.num_recorded(), 2u);
+  EXPECT_EQ(history.ValueCount(0, 0), 2u);
+  EXPECT_EQ(history.ValueCount(0, 1), 1u);
+  EXPECT_EQ(history.ValueCount(0, 2), 0u);
+  EXPECT_EQ(history.ValueCount(1, 2), 1u);
+}
+
+TEST(QueryHistoryTest, TopValuesByPopularity) {
+  Schema s = SmallSchema();
+  QueryHistory history(s);
+  for (int i = 0; i < 5; ++i) history.Record(MakeQuery(s, {2}, {}));
+  for (int i = 0; i < 3; ++i) history.Record(MakeQuery(s, {0}, {}));
+  history.Record(MakeQuery(s, {1}, {}));
+  EXPECT_EQ(history.TopValues(0, 2), (std::vector<ValueId>{0, 2}));
+  EXPECT_EQ(history.TopValues(0, 10), (std::vector<ValueId>{0, 1, 2}))
+      << "never-queried values are excluded";
+  EXPECT_TRUE(history.TopValues(1, 5).empty());
+}
+
+TEST(QueryHistoryTest, SlidingWindowEvicts) {
+  Schema s = SmallSchema();
+  QueryHistory history(s, /*window=*/2);
+  history.Record(MakeQuery(s, {0}, {}));
+  history.Record(MakeQuery(s, {1}, {}));
+  history.Record(MakeQuery(s, {2}, {}));  // evicts the {0} query
+  EXPECT_EQ(history.ValueCount(0, 0), 0u);
+  EXPECT_EQ(history.ValueCount(0, 1), 1u);
+  EXPECT_EQ(history.ValueCount(0, 2), 1u);
+  EXPECT_EQ(history.num_recorded(), 3u) << "num_recorded counts all time";
+}
+
+TEST(QueryHistoryTest, CoverageOfPlan) {
+  Schema s = SmallSchema();
+  QueryHistory history(s);
+  history.Record(MakeQuery(s, {0, 1}, {0}));
+  history.Record(MakeQuery(s, {2}, {0}));
+  auto plan = std::vector<std::vector<ValueId>>{{0, 1}, {0}};
+  // First query fully covered; second references g=2 (not in plan).
+  EXPECT_DOUBLE_EQ(history.CoverageOf(plan), 0.5);
+  EXPECT_DOUBLE_EQ(history.CoverageOf(history.MaterializationPlan(4)), 1.0);
+}
+
+TEST(QueryHistoryTest, HistoryDrivenTreeServesHotQueries) {
+  // End to end: record a skewed workload, materialize its plan, and check
+  // the resulting tree answers the hot queries without fallback while
+  // staying smaller than the full tree.
+  gen::GenConfig config;
+  config.num_rows = 500;
+  config.cardinality = 12;
+  config.seed = 61;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+
+  QueryHistory history(data.schema());
+  Rng rng(62);
+  std::vector<PreferenceProfile> hot;
+  for (int i = 0; i < 40; ++i) {
+    // Hot values: 0..3 only (plus the template prefix).
+    PreferenceProfile q(data.schema());
+    for (size_t j = 0; j < q.num_nominal(); ++j) {
+      std::vector<ValueId> choices = tmpl.pref(j).choices();
+      std::vector<char> used(12, 0);
+      for (ValueId v : choices) used[v] = 1;
+      while (choices.size() < 3) {
+        ValueId v = static_cast<ValueId>(rng.UniformInt(4));
+        if (!used[v]) {
+          used[v] = 1;
+          choices.push_back(v);
+        }
+      }
+      ASSERT_TRUE(
+          q.SetPref(j, ImplicitPreference::Make(12, choices).ValueOrDie()).ok());
+    }
+    history.Record(q);
+    hot.push_back(std::move(q));
+  }
+
+  IpoTreeEngine::Options opts;
+  opts.materialize_values = history.MaterializationPlan(6);
+  IpoTreeEngine lean(data, tmpl, opts);
+  IpoTreeEngine full(data, tmpl);
+  EXPECT_LT(lean.build_stats().num_nodes, full.build_stats().num_nodes);
+
+  for (const auto& q : hot) {
+    auto lean_result = lean.Query(q);
+    ASSERT_TRUE(lean_result.ok()) << lean_result.status().ToString();
+    auto full_result = full.Query(q);
+    ASSERT_TRUE(full_result.ok());
+    std::sort(lean_result->begin(), lean_result->end());
+    std::sort(full_result->begin(), full_result->end());
+    EXPECT_EQ(*lean_result, *full_result);
+  }
+  // A cold query using unmaterialized values is rejected.
+  PreferenceProfile cold(data.schema());
+  std::vector<ValueId> choices = tmpl.pref(0).choices();
+  if (std::find(choices.begin(), choices.end(), 11) == choices.end()) {
+    choices.push_back(11);
+  }
+  ASSERT_TRUE(
+      cold.SetPref(0, ImplicitPreference::Make(12, choices).ValueOrDie()).ok());
+  EXPECT_TRUE(lean.Query(cold).status().IsUnsupported());
+}
+
+TEST(QueryHistoryTest, PlanAlwaysIncludesTemplateInTree) {
+  // Even an empty history yields a servable tree for template-only queries.
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.cardinality = 5;
+  config.seed = 63;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  QueryHistory history(data.schema());
+  IpoTreeEngine::Options opts;
+  opts.materialize_values = history.MaterializationPlan(3);
+  IpoTreeEngine tree(data, tmpl, opts);
+  EXPECT_TRUE(tree.Query(tmpl).ok());
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,91 @@
+#include "order/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "dominance/dominance.h"
+
+namespace nomsky {
+namespace {
+
+Schema SmallSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("stars", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("group", {"a", "b", "c", "d"}).ok());
+  return s;
+}
+
+TEST(RankTableTest, DefaultRankIsCardinality) {
+  Schema s = SmallSchema();
+  PreferenceProfile empty(s);
+  RankTable ranks(s, empty);
+  for (ValueId v = 0; v < 4; ++v) EXPECT_EQ(ranks.rank(0, v), 4u);
+}
+
+TEST(RankTableTest, ListedValuesGetPositions) {
+  Schema s = SmallSchema();
+  auto p = PreferenceProfile::Parse(s, {{"group", "c<a<*"}}).ValueOrDie();
+  RankTable ranks(s, p);
+  EXPECT_EQ(ranks.rank(0, 2), 1u);  // c
+  EXPECT_EQ(ranks.rank(0, 0), 2u);  // a
+  EXPECT_EQ(ranks.rank(0, 1), 4u);  // b unlisted
+  EXPECT_EQ(ranks.rank(0, 3), 4u);  // d unlisted
+}
+
+TEST(RankTableTest, ScoreOrientsNumericDims) {
+  Schema s = SmallSchema();
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{10.0, 3.0}, {0}}).ok());
+  ASSERT_TRUE(data.Append({{10.0, 5.0}, {0}}).ok());
+  PreferenceProfile empty(s);
+  RankTable ranks(s, empty);
+  // More stars is better, so row 1 must score lower.
+  EXPECT_LT(ranks.Score(data, 1), ranks.Score(data, 0));
+}
+
+TEST(RankTableTest, RescoreNominalMatchesFullScore) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.seed = 5;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(3);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+
+  RankTable old_ranks(data.schema(), tmpl);
+  RankTable new_ranks(data.schema(), query);
+  for (RowId r = 0; r < data.num_rows(); ++r) {
+    double old_score = old_ranks.Score(data, r);
+    EXPECT_NEAR(new_ranks.RescoreNominal(old_ranks, old_score, data, r),
+                new_ranks.Score(data, r), 1e-9);
+  }
+}
+
+// The SFS presort criterion: p ≺ q ⟹ f(p) < f(q), for random profiles.
+TEST(RankTableTest, ScoreStrictlyMonotoneUnderDominance) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.cardinality = 6;
+  config.seed = 17;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+    RankTable ranks(data.schema(), query);
+    DominanceComparator cmp(data, query);
+    for (RowId p = 0; p < 100; ++p) {
+      for (RowId q = 0; q < 100; ++q) {
+        if (cmp.Compare(p, q) == DomResult::kLeftDominates) {
+          EXPECT_LT(ranks.Score(data, p), ranks.Score(data, q))
+              << "p=" << p << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nomsky {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleBoundsRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.UniformDouble(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversDomainRoughlyEvenly) {
+  Rng rng(3);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(n)];
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], draws / static_cast<int>(n), draws / 50)
+        << "value " << k;
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  double sum = 0, sum2 = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / draws;
+  double var = sum2 / draws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(5);
+  double sum = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / draws, 10.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(4, 0.0);
+  for (size_t k = 0; k < 4; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(20, 1.0);
+  double sum = 0;
+  for (size_t k = 0; k < 20; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(20, 1.0);
+  for (size_t k = 1; k < 20; ++k) EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(7);
+  const int draws = 200000;
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, zipf.Pmf(k), 0.01)
+        << "value " << k;
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentrates) {
+  ZipfDistribution zipf(10, 3.0);
+  EXPECT_GT(zipf.Pmf(0), 0.8);
+}
+
+}  // namespace
+}  // namespace nomsky

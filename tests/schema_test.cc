@@ -1,0 +1,79 @@
+#include "common/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace nomsky {
+namespace {
+
+Schema VacationSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("hotel_class", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  EXPECT_TRUE(s.AddNominal("airline", {"G", "R", "W"}).ok());
+  return s;
+}
+
+TEST(SchemaTest, CountsAndKinds) {
+  Schema s = VacationSchema();
+  EXPECT_EQ(s.num_dims(), 4u);
+  EXPECT_EQ(s.num_numeric(), 2u);
+  EXPECT_EQ(s.num_nominal(), 2u);
+  EXPECT_TRUE(s.dim(0).is_numeric());
+  EXPECT_TRUE(s.dim(2).is_nominal());
+  EXPECT_EQ(s.dim(2).cardinality(), 3u);
+}
+
+TEST(SchemaTest, TypedIndexMapsIntoSubsets) {
+  Schema s = VacationSchema();
+  EXPECT_EQ(s.numeric_dims(), (std::vector<DimId>{0, 1}));
+  EXPECT_EQ(s.nominal_dims(), (std::vector<DimId>{2, 3}));
+  EXPECT_EQ(s.typed_index(0), 0u);
+  EXPECT_EQ(s.typed_index(1), 1u);
+  EXPECT_EQ(s.typed_index(2), 0u);
+  EXPECT_EQ(s.typed_index(3), 1u);
+}
+
+TEST(SchemaTest, FindDimByName) {
+  Schema s = VacationSchema();
+  EXPECT_EQ(s.FindDim("price").ValueOrDie(), 0u);
+  EXPECT_EQ(s.FindDim("airline").ValueOrDie(), 3u);
+  EXPECT_TRUE(s.FindDim("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  EXPECT_TRUE(s.AddNumeric("x").IsAlreadyExists());
+  EXPECT_TRUE(s.AddNominal("x", {"a"}).IsAlreadyExists());
+}
+
+TEST(SchemaTest, EmptyNominalDictionaryRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("empty", {}).IsInvalidArgument());
+}
+
+TEST(SchemaTest, DirectionStored) {
+  Schema s = VacationSchema();
+  EXPECT_EQ(s.dim(0).direction(), SortDirection::kMinBetter);
+  EXPECT_EQ(s.dim(1).direction(), SortDirection::kMaxBetter);
+}
+
+TEST(DimensionTest, ValueIdLookup) {
+  Dimension d = Dimension::Nominal("g", {"T", "H", "M"});
+  EXPECT_EQ(d.ValueIdOf("T").ValueOrDie(), 0u);
+  EXPECT_EQ(d.ValueIdOf("M").ValueOrDie(), 2u);
+  EXPECT_TRUE(d.ValueIdOf("Z").status().IsNotFound());
+  EXPECT_EQ(d.ValueName(1), "H");
+  EXPECT_EQ(d.ValueName(99), "<invalid>");
+}
+
+TEST(SchemaTest, ToStringMentionsEveryDim) {
+  std::string str = VacationSchema().ToString();
+  EXPECT_NE(str.find("price"), std::string::npos);
+  EXPECT_NE(str.find("hotel_group"), std::string::npos);
+  EXPECT_NE(str.find("[3]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nomsky

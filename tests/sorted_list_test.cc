@@ -1,0 +1,124 @@
+#include "core/sorted_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace nomsky {
+namespace {
+
+TEST(SortedListTest, EmptyList) {
+  SortedList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.LowerBound({0.0, 0}), nullptr);
+  EXPECT_TRUE(list.ToVector().empty());
+}
+
+TEST(SortedListTest, InsertKeepsOrder) {
+  SortedList list;
+  EXPECT_TRUE(list.Insert({3.0, 1}));
+  EXPECT_TRUE(list.Insert({1.0, 2}));
+  EXPECT_TRUE(list.Insert({2.0, 3}));
+  auto v = list.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], (ScoreKey{1.0, 2}));
+  EXPECT_EQ(v[1], (ScoreKey{2.0, 3}));
+  EXPECT_EQ(v[2], (ScoreKey{3.0, 1}));
+}
+
+TEST(SortedListTest, DuplicateInsertRejected) {
+  SortedList list;
+  EXPECT_TRUE(list.Insert({1.0, 7}));
+  EXPECT_FALSE(list.Insert({1.0, 7}));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SortedListTest, EqualScoresTieBrokenByRow) {
+  SortedList list;
+  EXPECT_TRUE(list.Insert({1.0, 9}));
+  EXPECT_TRUE(list.Insert({1.0, 3}));
+  auto v = list.ToVector();
+  EXPECT_EQ(v[0].row, 3u);
+  EXPECT_EQ(v[1].row, 9u);
+}
+
+TEST(SortedListTest, EraseExistingAndMissing) {
+  SortedList list;
+  list.Insert({1.0, 1});
+  list.Insert({2.0, 2});
+  EXPECT_TRUE(list.Erase({1.0, 1}));
+  EXPECT_FALSE(list.Erase({1.0, 1}));
+  EXPECT_FALSE(list.Erase({5.0, 5}));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_FALSE(list.Contains({1.0, 1}));
+  EXPECT_TRUE(list.Contains({2.0, 2}));
+}
+
+TEST(SortedListTest, LowerBound) {
+  SortedList list;
+  list.Insert({1.0, 1});
+  list.Insert({3.0, 3});
+  const ScoreKey* lb = list.LowerBound({2.0, 0});
+  ASSERT_NE(lb, nullptr);
+  EXPECT_EQ(*lb, (ScoreKey{3.0, 3}));
+  EXPECT_EQ(list.LowerBound({4.0, 0}), nullptr);
+  lb = list.LowerBound({1.0, 1});
+  ASSERT_NE(lb, nullptr);
+  EXPECT_EQ(*lb, (ScoreKey{1.0, 1}));
+}
+
+TEST(SortedListTest, RandomizedAgainstStdSet) {
+  SortedList list;
+  std::set<std::pair<double, RowId>> model;
+  Rng rng(404);
+  for (int op = 0; op < 20000; ++op) {
+    double score = static_cast<double>(rng.UniformInt(500));
+    RowId row = static_cast<RowId>(rng.UniformInt(200));
+    ScoreKey key{score, row};
+    if (rng.UniformInt(3) == 0) {
+      EXPECT_EQ(list.Erase(key), model.erase({score, row}) > 0);
+    } else {
+      EXPECT_EQ(list.Insert(key), model.insert({score, row}).second);
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  auto v = list.ToVector();
+  size_t i = 0;
+  for (const auto& [score, row] : model) {
+    ASSERT_LT(i, v.size());
+    EXPECT_EQ(v[i], (ScoreKey{score, row}));
+    ++i;
+  }
+}
+
+TEST(SortedListTest, MemoryTracksNodes) {
+  SortedList list;
+  size_t empty_bytes = list.MemoryUsage();
+  for (int i = 0; i < 100; ++i) list.Insert({static_cast<double>(i), 0});
+  EXPECT_GT(list.MemoryUsage(), empty_bytes);
+  for (int i = 0; i < 100; ++i) list.Erase({static_cast<double>(i), 0});
+  EXPECT_EQ(list.MemoryUsage(), empty_bytes);
+}
+
+TEST(SortedListTest, ForEachVisitsAscending) {
+  SortedList list;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    list.Insert({rng.UniformDouble(), static_cast<RowId>(i)});
+  }
+  ScoreKey prev{-1.0, 0};
+  size_t count = 0;
+  list.ForEach([&](const ScoreKey& k) {
+    EXPECT_LT(prev, k);
+    prev = k;
+    ++count;
+  });
+  EXPECT_EQ(count, list.size());
+}
+
+}  // namespace
+}  // namespace nomsky

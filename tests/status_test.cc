@@ -1,0 +1,114 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace nomsky {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad value: ", 42);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad value: 42");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad value: 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConflict), "Conflict");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  Status nf = Status::NotFound("x");
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_FALSE(nf.IsInvalidArgument());
+  EXPECT_FALSE(nf.IsConflict());
+  Status cf = Status::Conflict("y");
+  EXPECT_TRUE(cf.IsConflict());
+  EXPECT_FALSE(cf.IsNotFound());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Unsupported("nope");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsUnsupported());
+  EXPECT_EQ(copy.message(), "nope");
+}
+
+Status FailsFirst() { return Status::OutOfRange("boom"); }
+
+Status Propagates() {
+  NOMSKY_RETURN_NOT_OK(FailsFirst());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  Status st = Propagates();
+  EXPECT_TRUE(st.IsOutOfRange());
+  EXPECT_EQ(st.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> err = Status::NotFound("missing");
+  EXPECT_EQ(std::move(err).ValueOr(-1), -1);
+  Result<int> ok = 5;
+  EXPECT_EQ(std::move(ok).ValueOr(-1), 5);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  NOMSKY_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterEven(8).ValueOrDie(), 2);
+  EXPECT_TRUE(QuarterEven(6).status().IsInvalidArgument());
+  EXPECT_TRUE(QuarterEven(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+}  // namespace
+}  // namespace nomsky

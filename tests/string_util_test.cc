@@ -1,0 +1,43 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace nomsky {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a<b<c", '<'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a<<c", '<'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("<", '<'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitSinglePiece) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "<"), "a<b<c");
+  EXPECT_EQ(Join({}, "<"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(5 * 1024 * 1024), "5.0 MB");
+}
+
+}  // namespace
+}  // namespace nomsky

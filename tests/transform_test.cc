@@ -1,0 +1,129 @@
+#include "skyline/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TwoIntEncodingTest, ListedValuesGetDiagonalCodes) {
+  // "v2 ≺ v0 ≺ *" over 4 values.
+  auto pref = ImplicitPreference::Make(4, {2, 0}).ValueOrDie();
+  auto codes = TwoIntEncoding(pref);
+  EXPECT_EQ(codes[2].lo, 1u);
+  EXPECT_EQ(codes[2].hi, 1u);
+  EXPECT_EQ(codes[0].lo, 2u);
+  EXPECT_EQ(codes[0].hi, 2u);
+}
+
+TEST(TwoIntEncodingTest, UnlistedValuesGetAntiOrderedCodes) {
+  auto pref = ImplicitPreference::Make(4, {2, 0}).ValueOrDie();
+  auto codes = TwoIntEncoding(pref);
+  // Unlisted values 1 and 3 (x=2, c=4): k=0 -> (3, 3+3-0... ) formula:
+  // (x+1+k, x+1+(c-1-k)).
+  EXPECT_EQ(codes[1].lo, 3u);
+  EXPECT_EQ(codes[1].hi, 6u);
+  EXPECT_EQ(codes[3].lo, 4u);
+  EXPECT_EQ(codes[3].hi, 5u);
+  // Anti-ordering -> incomparable under coordinate-wise min.
+  EXPECT_LT(codes[1].lo, codes[3].lo);
+  EXPECT_GT(codes[1].hi, codes[3].hi);
+}
+
+// Property: for all value pairs, two-integer dominance == preference order.
+TEST(TwoIntEncodingTest, EncodingReproducesPreferenceExactly) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t c = 2 + rng.UniformInt(9);
+    std::vector<ValueId> values(c);
+    for (size_t v = 0; v < c; ++v) values[v] = static_cast<ValueId>(v);
+    rng.Shuffle(&values);
+    values.resize(rng.UniformInt(c + 1));
+    auto pref = ImplicitPreference::Make(c, values).ValueOrDie();
+    auto codes = TwoIntEncoding(pref);
+    for (ValueId a = 0; a < c; ++a) {
+      for (ValueId b = 0; b < c; ++b) {
+        bool code_dominates =
+            (codes[a].lo <= codes[b].lo && codes[a].hi <= codes[b].hi) &&
+            (codes[a].lo < codes[b].lo || codes[a].hi < codes[b].hi);
+        EXPECT_EQ(code_dominates, pref.Compare(a, b) < 0)
+            << "a=" << a << " b=" << b << " c=" << c;
+        if (a == b) {
+          EXPECT_EQ(codes[a].lo, codes[b].lo);
+          EXPECT_EQ(codes[a].hi, codes[b].hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(TransformEngineTest, MatchesNaiveAcrossDistributions) {
+  for (auto dist : {gen::Distribution::kIndependent,
+                    gen::Distribution::kCorrelated,
+                    gen::Distribution::kAnticorrelated}) {
+    gen::GenConfig config;
+    config.num_rows = 300;
+    config.cardinality = 5;
+    config.distribution = dist;
+    config.seed = 77;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+    TransformEngine engine(data, tmpl);
+    Rng rng(78);
+    for (size_t order = 1; order <= 3; ++order) {
+      PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, order, &rng);
+      auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+      DominanceComparator cmp(data, combined);
+      std::vector<RowId> expected =
+          Sorted(NaiveSkyline(cmp, AllRows(config.num_rows)));
+      EXPECT_EQ(Sorted(engine.Query(query).ValueOrDie()), expected)
+          << gen::DistributionName(dist) << " order " << order;
+    }
+  }
+}
+
+TEST(TransformEngineTest, MaxBetterNumericDimsHandled) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("price").ok());
+  ASSERT_TRUE(s.AddNumeric("stars", SortDirection::kMaxBetter).ok());
+  ASSERT_TRUE(s.AddNominal("g", {"a", "b", "c"}).ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{100, 5}, {0}}).ok());
+  ASSERT_TRUE(data.Append({{100, 3}, {0}}).ok());  // dominated (fewer stars)
+  ASSERT_TRUE(data.Append({{90, 4}, {1}}).ok());
+  PreferenceProfile tmpl(s);
+  TransformEngine engine(data, tmpl);
+  auto sky = engine.Query(PreferenceProfile(s)).ValueOrDie();
+  EXPECT_EQ(Sorted(sky), (std::vector<RowId>{0, 2}));
+}
+
+TEST(TransformEngineTest, ConflictRejected) {
+  gen::GenConfig config;
+  config.num_rows = 50;
+  config.seed = 80;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  TransformEngine engine(data, tmpl);
+  ValueId t = tmpl.pref(0).choices()[0];
+  ValueId other = t == 0 ? 1 : 0;
+  PreferenceProfile bad(data.schema());
+  ASSERT_TRUE(
+      bad.SetPref(0, ImplicitPreference::Make(tmpl.pref(0).cardinality(),
+                                              {other, t})
+                         .ValueOrDie())
+          .ok());
+  EXPECT_TRUE(engine.Query(bad).status().IsConflict());
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,229 @@
+// nomsky_cli: command-line skyline querying over CSV data.
+//
+// Usage:
+//   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
+//              [--engine ipo|asfs|sfsd|hybrid] [--topk K] [--limit N]
+//              [QUERY ...]
+//
+// SPEC is a comma-separated dimension list:
+//   price:min,stars:max,group:nom{T|H|M},airline:nom{G|R|W}
+// PREFS / QUERY use the library's preference syntax per dimension,
+// separated by ';':
+//   "group: T<M<*; airline: G<*"
+// Queries come from the command line, or from stdin (one per line) when
+// none are given. For each query the matching rows are printed as CSV.
+//
+// Example:
+//   nomsky_cli --csv packages.csv \
+//       --schema "price:min,stars:max,group:nom{T|H|M}" \
+//       "group: T<M<*"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/adaptive_sfs.h"
+#include "core/hybrid.h"
+#include "core/ipo_tree.h"
+#include "datagen/csv.h"
+
+namespace nomsky {
+namespace {
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  Schema schema;
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string part = Trim(raw);
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("dimension spec '", part,
+                                     "' missing ':kind'");
+    }
+    std::string name = Trim(part.substr(0, colon));
+    std::string kind = Trim(part.substr(colon + 1));
+    if (kind == "min") {
+      NOMSKY_RETURN_NOT_OK(schema.AddNumeric(name, SortDirection::kMinBetter));
+    } else if (kind == "max") {
+      NOMSKY_RETURN_NOT_OK(schema.AddNumeric(name, SortDirection::kMaxBetter));
+    } else if (kind.rfind("nom{", 0) == 0 && kind.back() == '}') {
+      std::string values_text = kind.substr(4, kind.size() - 5);
+      std::vector<std::string> values;
+      for (const std::string& v : Split(values_text, '|')) {
+        values.push_back(Trim(v));
+      }
+      NOMSKY_RETURN_NOT_OK(schema.AddNominal(name, values));
+    } else {
+      return Status::InvalidArgument(
+          "dimension kind '", kind,
+          "' is not one of: min, max, nom{v1|v2|...}");
+    }
+  }
+  if (schema.num_dims() == 0) {
+    return Status::InvalidArgument("empty schema spec");
+  }
+  return schema;
+}
+
+Result<PreferenceProfile> ParsePrefsText(const Schema& schema,
+                                         const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> prefs;
+  for (const std::string& raw : Split(text, ';')) {
+    std::string part = Trim(raw);
+    if (part.empty()) continue;
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("preference '", part,
+                                     "' missing 'dim: ...'");
+    }
+    prefs.emplace_back(Trim(part.substr(0, colon)),
+                       Trim(part.substr(colon + 1)));
+  }
+  return PreferenceProfile::Parse(schema, prefs);
+}
+
+void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
+               size_t limit) {
+  const Schema& schema = data.schema();
+  for (DimId d = 0; d < schema.num_dims(); ++d) {
+    std::printf("%s%s", d > 0 ? "," : "", schema.dim(d).name().c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+    RowId r = rows[i];
+    for (DimId d = 0; d < schema.num_dims(); ++d) {
+      if (d > 0) std::printf(",");
+      const Dimension& dim = schema.dim(d);
+      if (dim.is_numeric()) {
+        std::printf("%g", data.numeric(d, r));
+      } else {
+        std::printf("%s", dim.ValueName(data.nominal(d, r)).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  if (rows.size() > limit) {
+    std::printf("... (%zu more rows; raise --limit)\n", rows.size() - limit);
+  }
+}
+
+int Run(int argc, char** argv) {
+  std::string csv_path, schema_spec, template_text;
+  std::string engine_name = "asfs";
+  size_t topk = 10, limit = 20;
+  std::vector<std::string> query_texts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_path = need_value("--csv");
+    } else if (arg == "--schema") {
+      schema_spec = need_value("--schema");
+    } else if (arg == "--template") {
+      template_text = need_value("--template");
+    } else if (arg == "--engine") {
+      engine_name = need_value("--engine");
+    } else if (arg == "--topk") {
+      topk = static_cast<size_t>(std::atol(need_value("--topk")));
+    } else if (arg == "--limit") {
+      limit = static_cast<size_t>(std::atol(need_value("--limit")));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: nomsky_cli --csv FILE --schema SPEC "
+                  "[--template PREFS] [--engine ipo|asfs|sfsd|hybrid] "
+                  "[--topk K] [--limit N] [QUERY ...]\n");
+      return 0;
+    } else {
+      query_texts.push_back(arg);
+    }
+  }
+  if (csv_path.empty() || schema_spec.empty()) {
+    std::fprintf(stderr, "--csv and --schema are required (see --help)\n");
+    return 2;
+  }
+
+  auto schema = ParseSchemaSpec(schema_spec);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 2;
+  }
+  auto data = gen::LoadCsv(*schema, csv_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "csv: %s\n", data.status().ToString().c_str());
+    return 2;
+  }
+  PreferenceProfile tmpl(*schema);
+  if (!template_text.empty()) {
+    auto parsed = ParsePrefsText(*schema, template_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "template: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    tmpl = *parsed;
+  }
+
+  WallTimer build;
+  std::unique_ptr<SkylineEngine> engine;
+  std::unique_ptr<AdaptiveSfsEngine> asfs;  // also powers "asfs"
+  if (engine_name == "ipo") {
+    IpoTreeEngine::Options opts;
+    opts.use_bitmaps = true;
+    opts.num_threads = 0;
+    engine = std::make_unique<IpoTreeEngine>(*data, tmpl, opts);
+  } else if (engine_name == "asfs") {
+    asfs = std::make_unique<AdaptiveSfsEngine>(*data, tmpl);
+  } else if (engine_name == "sfsd") {
+    engine = std::make_unique<SfsDirectEngine>(*data, tmpl);
+  } else if (engine_name == "hybrid") {
+    engine = std::make_unique<HybridEngine>(*data, tmpl, topk);
+  } else {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "loaded %zu rows; %s ready in %.2f s\n",
+               data->num_rows(), engine_name.c_str(),
+               build.ElapsedSeconds());
+
+  auto answer = [&](const std::string& text) {
+    auto query = ParsePrefsText(*schema, text);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+      return;
+    }
+    WallTimer timer;
+    Result<std::vector<RowId>> rows =
+        asfs != nullptr ? asfs->Query(*query) : engine->Query(*query);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query: %s\n", rows.status().ToString().c_str());
+      return;
+    }
+    std::fprintf(stderr, "%zu skyline rows in %.2f ms\n", rows->size(),
+                 timer.ElapsedMillis());
+    PrintRows(*data, *rows, limit);
+  };
+
+  if (!query_texts.empty()) {
+    for (const std::string& q : query_texts) answer(q);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!Trim(line).empty()) answer(line);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nomsky
+
+int main(int argc, char** argv) { return nomsky::Run(argc, argv); }
