@@ -191,11 +191,87 @@ void PrintPanel(const char* panel_title, const char* unit,
   }
 }
 
+// Accumulates every figure printed by this process; rewriting the whole
+// array on each call keeps the NOMSKY_JSON file valid JSON at all times.
+struct RecordedFigure {
+  std::string title;
+  std::vector<PointMetrics> points;
+};
+
+std::vector<RecordedFigure>& RecordedFigures() {
+  static std::vector<RecordedFigure> figures;
+  return figures;
+}
+
+void JsonEscaped(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+void MaybeWriteJson(const std::string& title,
+                    const std::vector<PointMetrics>& points) {
+  const char* path = std::getenv("NOMSKY_JSON");
+  if (path == nullptr || *path == '\0') return;
+  RecordedFigures().push_back({title, points});
+  // Write-then-rename so the file is never observable half-written.
+  const std::string tmp_path = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "NOMSKY_JSON: cannot open %s for writing\n",
+                 tmp_path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& figures = RecordedFigures();
+  for (size_t fi = 0; fi < figures.size(); ++fi) {
+    const RecordedFigure& fig = figures[fi];
+    std::fprintf(f, "  {\"title\": \"");
+    JsonEscaped(f, fig.title);
+    std::fprintf(f, "\", \"scale\": %.6g, \"points\": [\n", EnvScale());
+    for (size_t pi = 0; pi < fig.points.size(); ++pi) {
+      const PointMetrics& p = fig.points[pi];
+      std::fprintf(f, "    {\"label\": \"");
+      JsonEscaped(f, p.label);
+      std::fprintf(f,
+                   "\", \"sky_ratio\": %.9g, \"affect_ratio\": %.9g, "
+                   "\"skyq_ratio\": %.9g, \"engines\": [",
+                   p.sky_ratio, p.affect_ratio, p.skyq_ratio);
+      for (size_t ei = 0; ei < p.engines.size(); ++ei) {
+        const EngineMetrics& e = p.engines[ei];
+        std::fprintf(f, "{\"name\": \"");
+        JsonEscaped(f, e.name);
+        std::fprintf(f,
+                     "\", \"preprocess_s\": %.9g, \"avg_query_s\": %.9g, "
+                     "\"storage_bytes\": %zu}%s",
+                     e.preprocess_s, e.avg_query_s, e.storage_bytes,
+                     ei + 1 < p.engines.size() ? ", " : "");
+      }
+      std::fprintf(f, "]}%s\n", pi + 1 < fig.points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]}%s\n", fi + 1 < figures.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  if (std::rename(tmp_path.c_str(), path) != 0) {
+    std::fprintf(stderr, "NOMSKY_JSON: cannot rename %s to %s\n",
+                 tmp_path.c_str(), path);
+  }
+}
+
 }  // namespace
 
 void PrintFigure(const std::string& title,
                  const std::vector<PointMetrics>& points) {
   if (points.empty()) return;
+  MaybeWriteJson(title, points);
   std::printf("\n==================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==================================================================\n");

@@ -12,6 +12,10 @@
 // hardware, with runtimes up to 10^5 s. Bench defaults are scaled down so
 // the whole suite finishes in minutes; set NOMSKY_SCALE (row multiplier)
 // and NOMSKY_QUERIES to approach paper scale.
+//
+// Recording: when NOMSKY_JSON names a file, every PrintFigure call also
+// persists the figures emitted so far to that file as a JSON array, so a
+// bench run leaves a machine-readable trace (see scripts/run_benches.sh).
 
 #ifndef NOMSKY_BENCH_HARNESS_H_
 #define NOMSKY_BENCH_HARNESS_H_

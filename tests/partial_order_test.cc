@@ -151,7 +151,9 @@ TEST(PartialOrderTest, RandomizedClosureIsTransitive) {
     for (ValueId u = 0; u < c; ++u) {
       EXPECT_FALSE(o.Contains(u, u));
       for (ValueId v = 0; v < c; ++v) {
-        if (o.Contains(u, v)) EXPECT_FALSE(o.Contains(v, u));
+        if (o.Contains(u, v)) {
+          EXPECT_FALSE(o.Contains(v, u));
+        }
         for (ValueId w = 0; w < c; ++w) {
           if (o.Contains(u, v) && o.Contains(v, w)) {
             EXPECT_TRUE(o.Contains(u, w));

@@ -14,9 +14,7 @@
 // none are given. For each query the matching rows are printed as CSV.
 //
 // Example:
-//   nomsky_cli --csv packages.csv \
-//       --schema "price:min,stars:max,group:nom{T|H|M}" \
-//       "group: T<M<*"
+//   nomsky_cli --csv packages.csv --schema "price:min,stars:max,group:nom{T|H|M}" "group: T<M<*"
 
 #include <cstdio>
 #include <cstring>
