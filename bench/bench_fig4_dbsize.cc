@@ -20,6 +20,7 @@ int main() {
     config.num_rows = bench::ScaledRows(base);
     config.distribution = gen::Distribution::kAnticorrelated;
     config.seed = 42;
+    opts.dataset_seed = config.seed;
     Dataset data = gen::Generate(config);
     PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
     std::printf("fig4: running N = %zu ...\n", config.num_rows);

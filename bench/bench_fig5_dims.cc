@@ -31,6 +31,7 @@ int main() {
     config.num_nominal = nominal;
     config.distribution = gen::Distribution::kAnticorrelated;
     config.seed = 42;
+    opts.dataset_seed = config.seed;
     Dataset data = gen::Generate(config);
     PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
     std::printf("fig5: running %zu total dims (%zu nominal)%s ...\n",

@@ -20,6 +20,7 @@ int main() {
     config.cardinality = c;
     config.distribution = gen::Distribution::kAnticorrelated;
     config.seed = 42;
+    opts.dataset_seed = config.seed;
     Dataset data = gen::Generate(config);
     PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
     std::printf("fig6: running c = %zu ...\n", c);

@@ -23,6 +23,7 @@ int main() {
     bench::HarnessOptions opts;
     opts.num_queries = bench::EnvQueries(10);
     opts.order = order;
+    opts.dataset_seed = config.seed;
     std::printf("fig7: running order = %zu ...\n", order);
     points.push_back(bench::RunPoint(data, tmpl, std::to_string(order), opts));
   }

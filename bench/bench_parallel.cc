@@ -1,0 +1,94 @@
+// Parallel batched execution: throughput of one shared engine answering a
+// batch of >= 1000 implicit-preference queries fanned out over a
+// ThreadPool, swept over worker-thread counts (the serving scenario the
+// exec layer exists for). Reports queries/s and the speedup vs 1 thread;
+// scaling tops out at the machine's core count, which is recorded in the
+// figure title so BENCH_parallel.json entries from different machines are
+// comparable.
+//
+// NOMSKY_QUERIES overrides the batch size (minimum 1000); NOMSKY_SCALE
+// scales the dataset as usual.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/query_executor.h"
+#include "exec/thread_pool.h"
+#include "harness.h"
+
+using namespace nomsky;
+
+int main() {
+  const uint64_t kDatasetSeed = 42;
+  gen::GenConfig config;
+  config.num_rows = bench::ScaledRows(20000);
+  config.num_numeric = 2;
+  config.num_nominal = 3;
+  config.cardinality = 10;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = kDatasetSeed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+
+  const size_t num_queries = std::max<size_t>(1000, bench::EnvQueries(1000));
+  Rng rng(7);
+  std::vector<PreferenceProfile> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(gen::RandomImplicitQuery(data, tmpl, /*order=*/2, &rng));
+  }
+
+  std::vector<bench::PointMetrics> points;
+  for (const std::string& engine_name : {std::string("asfs"),
+                                         std::string("auto")}) {
+    EngineOptions options;
+    auto engine = EngineRegistry::Global().Create(engine_name, data, tmpl,
+                                                  options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s: %s\n", engine_name.c_str(),
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    double base_qps = 0.0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      QueryExecutor executor(**engine, &pool);
+      BatchResult batch = executor.RunBatch(queries);
+      if (batch.failures != 0) {
+        std::fprintf(stderr, "%s: %zu queries failed\n", engine_name.c_str(),
+                     batch.failures);
+        return 1;
+      }
+      const double qps = batch.QueriesPerSecond();
+      if (threads == 1) base_qps = qps;
+      std::printf(
+          "parallel: %-5s %zu queries on %zu threads: %8.0f q/s "
+          "(%.2fx vs 1 thread)\n",
+          engine_name.c_str(), queries.size(), threads, qps,
+          base_qps > 0.0 ? qps / base_qps : 0.0);
+
+      bench::PointMetrics point;
+      point.label = engine_name + "/" + std::to_string(threads) + "t";
+      point.dataset_seed = kDatasetSeed;
+      bench::EngineMetrics metrics;
+      metrics.name = (*engine)->name();
+      metrics.threads = threads;
+      metrics.preprocess_s = (*engine)->preprocessing_seconds();
+      metrics.storage_bytes = (*engine)->MemoryUsage();
+      metrics.avg_query_s =
+          batch.seconds / static_cast<double>(queries.size());
+      point.engines.push_back(metrics);
+      points.push_back(point);
+    }
+  }
+  bench::PrintFigure(
+      "Parallel batch throughput: " + std::to_string(num_queries) +
+          " queries, threads in {1,2,4,8}, " +
+          std::to_string(ThreadPool::DefaultThreads()) + " hardware threads",
+      points);
+  return 0;
+}

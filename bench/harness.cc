@@ -81,6 +81,7 @@ PointMetrics RunPoint(const Dataset& data, const PreferenceProfile& tmpl,
                       const std::string& label, const HarnessOptions& opts) {
   PointMetrics point;
   point.label = label;
+  point.dataset_seed = opts.dataset_seed;
   std::vector<PreferenceProfile> queries = MakeQueries(data, tmpl, opts);
 
   // SFS-A is always built: it provides SKY(R̃) and the panel-(d) metrics.
@@ -242,17 +243,18 @@ void MaybeWriteJson(const std::string& title,
       JsonEscaped(f, p.label);
       std::fprintf(f,
                    "\", \"sky_ratio\": %.9g, \"affect_ratio\": %.9g, "
-                   "\"skyq_ratio\": %.9g, \"engines\": [",
-                   p.sky_ratio, p.affect_ratio, p.skyq_ratio);
+                   "\"skyq_ratio\": %.9g, \"seed\": %llu, \"engines\": [",
+                   p.sky_ratio, p.affect_ratio, p.skyq_ratio,
+                   static_cast<unsigned long long>(p.dataset_seed));
       for (size_t ei = 0; ei < p.engines.size(); ++ei) {
         const EngineMetrics& e = p.engines[ei];
         std::fprintf(f, "{\"name\": \"");
         JsonEscaped(f, e.name);
         std::fprintf(f,
                      "\", \"preprocess_s\": %.9g, \"avg_query_s\": %.9g, "
-                     "\"storage_bytes\": %zu}%s",
+                     "\"storage_bytes\": %zu, \"threads\": %zu}%s",
                      e.preprocess_s, e.avg_query_s, e.storage_bytes,
-                     ei + 1 < p.engines.size() ? ", " : "");
+                     e.threads, ei + 1 < p.engines.size() ? ", " : "");
       }
       std::fprintf(f, "]}%s\n", pi + 1 < fig.points.size() ? "," : "");
     }

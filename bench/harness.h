@@ -41,6 +41,9 @@ struct HarnessOptions {
   bool run_sfsa = true;
   bool run_sfsd = true;
   uint64_t query_seed = 7;
+  /// Seed the point's dataset was generated with; recorded in the JSON
+  /// trace so BENCH_*.json entries are comparable across PRs.
+  uint64_t dataset_seed = 0;
 };
 
 /// \brief Per-engine measurements at one sweep point.
@@ -49,6 +52,7 @@ struct EngineMetrics {
   double preprocess_s = 0.0;
   double avg_query_s = 0.0;
   size_t storage_bytes = 0;
+  size_t threads = 1;  ///< query-time worker threads the numbers used
 };
 
 /// \brief All measurements at one sweep point.
@@ -57,6 +61,7 @@ struct PointMetrics {
   double sky_ratio = 0.0;     ///< |SKY(R)| / |D|
   double affect_ratio = 0.0;  ///< |AFFECT(R)| / |SKY(R)|
   double skyq_ratio = 0.0;    ///< |SKY(R')| / |SKY(R)|
+  uint64_t dataset_seed = 0;  ///< generator seed of this point's dataset
   std::vector<EngineMetrics> engines;
 };
 

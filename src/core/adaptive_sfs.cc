@@ -1,6 +1,7 @@
 #include "core/adaptive_sfs.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/timer.h"
 #include "skyline/naive.h"
@@ -54,14 +55,46 @@ void AdaptiveSfsEngine::BuildIndexes() {
           static_cast<uint32_t>(pos));
     }
   }
-  visit_stamp_.assign(sorted_.size(), 0);
+}
+
+std::vector<std::unique_ptr<AdaptiveSfsEngine::VisitScratch>>&
+AdaptiveSfsEngine::ScratchLease::Freelist() {
+  thread_local std::vector<std::unique_ptr<VisitScratch>> freelist;
+  return freelist;
+}
+
+AdaptiveSfsEngine::ScratchLease::ScratchLease(size_t size) {
+  auto& freelist = Freelist();
+  // Prefer a recycled scratch already sized for this engine, so a thread
+  // alternating between engines keeps the O(1) epoch-bump amortization
+  // instead of re-zeroing stamps on every lease.
+  for (size_t i = freelist.size(); i-- > 0;) {
+    if (freelist[i]->stamp.size() == size) {
+      scratch_ = std::move(freelist[i]);
+      freelist.erase(freelist.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (scratch_ == nullptr) scratch_ = std::make_unique<VisitScratch>();
+  if (scratch_->stamp.size() != size ||
+      scratch_->epoch == std::numeric_limits<uint32_t>::max()) {
+    scratch_->stamp.assign(size, 0);
+    scratch_->epoch = 0;
+  }
+  ++scratch_->epoch;
+}
+
+AdaptiveSfsEngine::ScratchLease::~ScratchLease() {
+  auto& freelist = Freelist();
+  // Bounded cache: in-flight leases are few (one per nesting level), so a
+  // handful of parked scratches covers every realistic engine mix.
+  if (freelist.size() < 8) freelist.push_back(std::move(scratch_));
 }
 
 Result<std::vector<size_t>> AdaptiveSfsEngine::AffectedPositions(
-    const PreferenceProfile& effective) const {
+    const PreferenceProfile& effective, VisitScratch* scratch) const {
   // A point is re-ranked iff it carries a value whose rank changes, i.e. a
   // value the query lists beyond the template prefix of its dimension.
-  ++epoch_;
   std::vector<size_t> positions;
   for (size_t j = 0; j < effective.num_nominal(); ++j) {
     const ImplicitPreference& pref = effective.pref(j);
@@ -71,8 +104,8 @@ Result<std::vector<size_t>> AdaptiveSfsEngine::AffectedPositions(
       uint32_t new_rank = static_cast<uint32_t>(pos + 1);
       if (old_rank == new_rank) continue;
       for (uint32_t list_pos : inverted_[j][v]) {
-        if (visit_stamp_[list_pos] != epoch_) {
-          visit_stamp_[list_pos] = epoch_;
+        if (scratch->stamp[list_pos] != scratch->epoch) {
+          scratch->stamp[list_pos] = scratch->epoch;
           positions.push_back(list_pos);
         }
       }
@@ -86,11 +119,13 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
     const std::function<bool(RowId, double)>& consume) const {
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
-  last_stats_ = QueryStats{};
+  QueryStats stats;
 
+  ScratchLease lease(sorted_.size());
+  VisitScratch& scratch = lease.get();
   NOMSKY_ASSIGN_OR_RETURN(std::vector<size_t> affected,
-                          AffectedPositions(effective));
-  last_stats_.affected = affected.size();
+                          AffectedPositions(effective, &scratch));
+  stats.affected = affected.size();
 
   // Re-score the affected points under the refined ranking and re-sort them
   // among themselves (Algorithm 4 steps 1-4).
@@ -112,9 +147,9 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
 
   size_t iu = 0;  // cursor over sorted_ (skipping affected positions)
   size_t ia = 0;  // cursor over resorted
-  const uint32_t cur_epoch = epoch_;
+  const uint32_t cur_epoch = scratch.epoch;
   auto skip_affected = [&] {
-    while (iu < sorted_.size() && visit_stamp_[iu] == cur_epoch) ++iu;
+    while (iu < sorted_.size() && scratch.stamp[iu] == cur_epoch) ++iu;
   };
   skip_affected();
   while (iu < sorted_.size() || ia < resorted.size()) {
@@ -129,7 +164,7 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
     ScoredRow candidate = take_affected ? resorted[ia] : sorted_[iu];
     bool dominated = false;
     for (RowId s : accepted_affected) {
-      ++last_stats_.dominance_tests;
+      ++stats.dominance_tests;
       if (cmp.Compare(s, candidate.row) == DomResult::kLeftDominates) {
         dominated = true;
         break;
@@ -147,7 +182,11 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
       skip_affected();
     }
   }
-  last_stats_.skyline_size = emitted;
+  stats.skyline_size = emitted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_stats_ = stats;
+  }
   return emitted;
 }
 
@@ -180,13 +219,14 @@ Result<size_t> AdaptiveSfsEngine::CountAffected(
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
   // Paper definition: points of SKY(R̃) carrying ANY value listed in R̃'.
-  ++epoch_;
+  ScratchLease lease(sorted_.size());
+  VisitScratch& scratch = lease.get();
   size_t count = 0;
   for (size_t j = 0; j < effective.num_nominal(); ++j) {
     for (ValueId v : effective.pref(j).choices()) {
       for (uint32_t pos : inverted_[j][v]) {
-        if (visit_stamp_[pos] != epoch_) {
-          visit_stamp_[pos] = epoch_;
+        if (scratch.stamp[pos] != scratch.epoch) {
+          scratch.stamp[pos] = scratch.epoch;
           ++count;
         }
       }
@@ -196,9 +236,13 @@ Result<size_t> AdaptiveSfsEngine::CountAffected(
 }
 
 size_t AdaptiveSfsEngine::MemoryUsage() const {
-  size_t bytes = sorted_.capacity() * sizeof(ScoredRow) +
-                 visit_stamp_.capacity() * sizeof(uint32_t);
+  // sorted_ plus the inverted index: the outer per-dimension / per-value
+  // vector-of-vectors scaffolding is counted too, not just the leaf lists —
+  // at high cardinality the scaffolding dominates the leaves.
+  size_t bytes = sorted_.capacity() * sizeof(ScoredRow);
+  bytes += inverted_.capacity() * sizeof(inverted_[0]);
   for (const auto& per_dim : inverted_) {
+    bytes += per_dim.capacity() * sizeof(std::vector<uint32_t>);
     for (const auto& list : per_dim) bytes += list.capacity() * sizeof(uint32_t);
   }
   return bytes;

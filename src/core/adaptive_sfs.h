@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/dataset.h"
@@ -39,6 +40,11 @@
 namespace nomsky {
 
 /// \brief The SFS-A engine of the paper.
+///
+/// Query, QueryProgressive, QueryTopK and CountAffected are const and safe
+/// to call concurrently: the per-query visit-stamp scratch lives in
+/// thread_local storage and the last-query statistics are published under a
+/// mutex (last_query_stats() reports the most recently *finished* query).
 class AdaptiveSfsEngine : public SkylineEngine {
  public:
   struct QueryStats {
@@ -85,15 +91,46 @@ class AdaptiveSfsEngine : public SkylineEngine {
 
   size_t MemoryUsage() const override;
   double preprocessing_seconds() const override { return preprocess_seconds_; }
-  const QueryStats& last_query_stats() const { return last_stats_; }
+  QueryStats last_query_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_stats_;
+  }
 
  private:
   friend class IncrementalAdaptiveSfs;
 
+  /// Visit-stamp scratch: stamp[pos] == epoch marks positions touched by
+  /// the running query. Instances are recycled through a thread_local
+  /// freelist (the epoch bump invalidates stale stamps in O(1); a size
+  /// change forces a full reset).
+  struct VisitScratch {
+    std::vector<uint32_t> stamp;
+    uint32_t epoch = 0;
+  };
+
+  /// RAII lease of a scratch from the calling thread's freelist, sized for
+  /// `size` slots with the epoch already advanced for a fresh query. Each
+  /// in-flight query leases its own instance, so a QueryProgressive
+  /// consumer that re-enters an engine on the same thread cannot clobber
+  /// the outer query's stamps.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(size_t size);
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    VisitScratch& get() const { return *scratch_; }
+
+   private:
+    static std::vector<std::unique_ptr<VisitScratch>>& Freelist();
+
+    std::unique_ptr<VisitScratch> scratch_;
+  };
+
   void BuildIndexes();
 
   Result<std::vector<size_t>> AffectedPositions(
-      const PreferenceProfile& effective) const;
+      const PreferenceProfile& effective, VisitScratch* scratch) const;
 
   const Dataset* data_;
   const PreferenceProfile* template_;
@@ -104,9 +141,8 @@ class AdaptiveSfsEngine : public SkylineEngine {
   std::vector<std::vector<std::vector<uint32_t>>> inverted_;
   double preprocess_seconds_ = 0.0;
 
-  mutable std::vector<uint32_t> visit_stamp_;  // per position, query epoch
-  mutable uint32_t epoch_ = 0;
-  mutable QueryStats last_stats_;
+  mutable std::mutex stats_mutex_;
+  mutable QueryStats last_stats_;  // guarded by stats_mutex_
 };
 
 /// \brief Adaptive SFS with incremental maintenance: owns its data; tuples

@@ -5,6 +5,14 @@
 // happens in the constructor) and then answers implicit-preference queries.
 // Engines report their preprocessing time and storage so the bench harness
 // can reproduce the paper's panels (a) and (c).
+//
+// Thread-safety contract: Query is const and MUST be safe to call
+// concurrently from multiple threads against the same engine instance.
+// The exec layer (exec/query_executor.h) relies on this to fan a batch of
+// queries out across a ThreadPool over one shared engine. Implementations
+// keep their materialized state read-only after construction; per-query
+// scratch lives on the stack or in thread_local storage, and any
+// observability counters are atomics or published under a mutex.
 
 #ifndef NOMSKY_CORE_ENGINE_H_
 #define NOMSKY_CORE_ENGINE_H_
@@ -30,6 +38,7 @@ class SkylineEngine {
 
   /// \brief SKY(R̃') for a user preference refining the engine's template.
   /// Dimensions the query leaves empty inherit the template's preference.
+  /// Safe to call concurrently (see the thread-safety contract above).
   virtual Result<std::vector<RowId>> Query(
       const PreferenceProfile& query) const = 0;
 
@@ -41,12 +50,28 @@ class SkylineEngine {
   virtual double preprocessing_seconds() const { return 0.0; }
 };
 
+/// \brief Uniform build-cost accounting of one engine, as reported by the
+/// exec layer and the bench harness.
+struct EngineFootprint {
+  std::string name;
+  size_t memory_bytes = 0;
+  double preprocess_seconds = 0.0;
+};
+
+inline EngineFootprint Footprint(const SkylineEngine& engine) {
+  return EngineFootprint{engine.name(), engine.MemoryUsage(),
+                         engine.preprocessing_seconds()};
+}
+
 /// \brief The paper's SFS-D baseline behind the engine interface: no
-/// preprocessing, full re-sort + extraction per query.
+/// preprocessing, full re-sort + extraction per query. With `shards` > 1
+/// and a pool, large datasets are evaluated with the partition-then-merge
+/// parallel path (see skyline/sfs_direct.h).
 class SfsDirectEngine : public SkylineEngine {
  public:
-  SfsDirectEngine(const Dataset& data, const PreferenceProfile& tmpl)
-      : impl_(data, tmpl) {}
+  SfsDirectEngine(const Dataset& data, const PreferenceProfile& tmpl,
+                  ThreadPool* pool = nullptr, size_t shards = 1)
+      : impl_(data, tmpl, pool, shards) {}
 
   const char* name() const override { return "SFS-D"; }
 

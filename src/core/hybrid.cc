@@ -10,11 +10,11 @@ Result<std::vector<RowId>> HybridEngine::Query(
     const PreferenceProfile& query) const {
   Result<std::vector<RowId>> from_tree = tree_.Query(query);
   if (from_tree.ok()) {
-    ++tree_hits_;
+    tree_hits_.fetch_add(1, std::memory_order_relaxed);
     return from_tree;
   }
   if (!from_tree.status().IsUnsupported()) return from_tree;  // real error
-  ++fallback_hits_;
+  fallback_hits_.fetch_add(1, std::memory_order_relaxed);
   return sfs_.Query(query);
 }
 

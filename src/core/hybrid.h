@@ -10,6 +10,8 @@
 #ifndef NOMSKY_CORE_HYBRID_H_
 #define NOMSKY_CORE_HYBRID_H_
 
+#include <atomic>
+
 #include "core/adaptive_sfs.h"
 #include "core/ipo_tree.h"
 
@@ -24,6 +26,8 @@ class HybridEngine : public SkylineEngine {
 
   const char* name() const override { return "Hybrid"; }
 
+  /// Const and safe to call concurrently (both sub-engines are; the hit
+  /// counters are atomic).
   Result<std::vector<RowId>> Query(
       const PreferenceProfile& query) const override;
 
@@ -38,8 +42,12 @@ class HybridEngine : public SkylineEngine {
   const AdaptiveSfsEngine& adaptive_sfs() const { return sfs_; }
 
   /// \brief Queries answered by the tree / by the fallback so far.
-  size_t tree_hits() const { return tree_hits_; }
-  size_t fallback_hits() const { return fallback_hits_; }
+  size_t tree_hits() const {
+    return tree_hits_.load(std::memory_order_relaxed);
+  }
+  size_t fallback_hits() const {
+    return fallback_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   static IpoTreeEngine::Options WithTopK(IpoTreeEngine::Options opts,
@@ -50,8 +58,8 @@ class HybridEngine : public SkylineEngine {
 
   IpoTreeEngine tree_;
   AdaptiveSfsEngine sfs_;
-  mutable size_t tree_hits_ = 0;
-  mutable size_t fallback_hits_ = 0;
+  mutable std::atomic<size_t> tree_hits_{0};
+  mutable std::atomic<size_t> fallback_hits_{0};
 };
 
 }  // namespace nomsky

@@ -229,18 +229,25 @@ Result<std::vector<RowId>> IpoTreeEngine::Query(
     }
   }
 
-  last_query_stats_ = QueryStats{};
+  QueryStats stats;
+  auto publish = [&] {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    last_query_stats_ = stats;
+  };
   if (options_.use_bitmaps) {
     DynamicBitset all(skyline_.size());
     all.SetAll();
     DynamicBitset result =
-        QueryBits(0, root_.get(), std::move(all), eff, &last_query_stats_);
+        QueryBits(0, root_.get(), std::move(all), eff, &stats);
     std::vector<RowId> rows;
     rows.reserve(result.count());
     result.ForEachSetBit([&](size_t i) { rows.push_back(skyline_[i]); });
+    publish();
     return rows;
   }
-  return QueryVec(0, root_.get(), skyline_, eff, &last_query_stats_);
+  std::vector<RowId> rows = QueryVec(0, root_.get(), skyline_, eff, &stats);
+  publish();
+  return rows;
 }
 
 std::vector<RowId> IpoTreeEngine::QueryVec(size_t depth, const Node* node,
@@ -326,7 +333,14 @@ size_t IpoTreeEngine::NodeMemory(const Node& node) const {
 
 size_t IpoTreeEngine::MemoryUsage() const {
   size_t bytes = NodeMemory(*root_) + skyline_.capacity() * sizeof(RowId) +
-                 row_to_pos_.capacity() * sizeof(size_t);
+                 row_to_pos_.capacity() * sizeof(size_t) +
+                 dominator_pool_.capacity() * sizeof(RowId);
+  for (const auto& values : allowed_) {
+    bytes += values.capacity() * sizeof(ValueId);
+  }
+  for (const auto& slots : allowed_slot_) {
+    bytes += slots.capacity() * sizeof(int32_t);
+  }
   if (bitmap_index_ != nullptr) bytes += bitmap_index_->MemoryUsage();
   return bytes;
 }

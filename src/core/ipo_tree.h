@@ -36,6 +36,7 @@
 
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bitset.h"
@@ -107,6 +108,9 @@ class IpoTreeEngine : public SkylineEngine {
 
   const char* name() const override { return name_.c_str(); }
 
+  /// Const and safe to call concurrently: the tree is read-only after
+  /// construction and per-query statistics are published under a mutex
+  /// (last_query_stats() reports the most recently finished query).
   Result<std::vector<RowId>> Query(
       const PreferenceProfile& query) const override;
 
@@ -117,7 +121,10 @@ class IpoTreeEngine : public SkylineEngine {
   double preprocessing_seconds() const override { return build_stats_.seconds; }
 
   const BuildStats& build_stats() const { return build_stats_; }
-  const QueryStats& last_query_stats() const { return last_query_stats_; }
+  QueryStats last_query_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return last_query_stats_;
+  }
 
   /// \brief Values materialized for the j-th nominal dimension.
   const std::vector<ValueId>& allowed_values(size_t nominal_idx) const {
@@ -179,7 +186,8 @@ class IpoTreeEngine : public SkylineEngine {
   std::vector<RowId> dominator_pool_;
 
   BuildStats build_stats_;
-  mutable QueryStats last_query_stats_;
+  mutable std::mutex stats_mutex_;
+  mutable QueryStats last_query_stats_;  // guarded by stats_mutex_
 };
 
 }  // namespace nomsky

@@ -54,21 +54,28 @@ std::vector<std::vector<ValueId>> QueryHistory::MaterializationPlan(
   return plan;
 }
 
+namespace {
+
+bool ChoicesCovered(const std::vector<std::vector<ValueId>>& plan,
+                    const std::vector<std::vector<ValueId>>& choices) {
+  for (size_t j = 0; j < choices.size(); ++j) {
+    for (ValueId v : choices[j]) {
+      if (!std::binary_search(plan[j].begin(), plan[j].end(), v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 double QueryHistory::CoverageOf(
     const std::vector<std::vector<ValueId>>& plan) const {
   if (log_.empty()) return 0.0;
   size_t covered = 0;
   for (const auto& entry : log_) {
-    bool ok = true;
-    for (size_t j = 0; j < entry.size() && ok; ++j) {
-      for (ValueId v : entry[j]) {
-        if (!std::binary_search(plan[j].begin(), plan[j].end(), v)) {
-          ok = false;
-          break;
-        }
-      }
-    }
-    if (ok) ++covered;
+    if (ChoicesCovered(plan, entry)) ++covered;
   }
   return static_cast<double>(covered) / static_cast<double>(log_.size());
 }

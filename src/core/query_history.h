@@ -49,6 +49,9 @@ class QueryHistory {
 
   /// \brief Fraction of recorded queries fully answerable from the plan
   /// (every choice materialized) — the expected hybrid tree-hit rate.
+  /// (The auto planner's per-query hit prediction lives in
+  /// exec/planner.cc: it additionally exempts template-inherited
+  /// dimensions, which this whole-history rate does not model.)
   double CoverageOf(const std::vector<std::vector<ValueId>>& plan) const;
 
  private:

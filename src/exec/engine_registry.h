@@ -1,0 +1,102 @@
+// EngineRegistry: the single place skyline engines are enumerated and
+// constructed by name. Replaces hand-rolled if/else engine selection (the
+// CLI, benches and tests all build engines through it), so adding an engine
+// means one Register call — every name-based surface picks it up, including
+// the cross-engine equivalence tests.
+//
+// The global registry is pre-populated with the built-in engines:
+//   sfsd    SFS-D re-sort baseline (parallel partition-merge capable)
+//   asfs    Adaptive SFS (Section 4)
+//   ipo     IPO-Tree semi-materialization (Section 3)
+//   hybrid  IPO-Tree-k + Adaptive SFS fallback (Section 5.3)
+//   auto    per-query planner routing among the above (exec/planner.h)
+
+#ifndef NOMSKY_EXEC_ENGINE_REGISTRY_H_
+#define NOMSKY_EXEC_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/ipo_tree.h"
+#include "core/query_history.h"
+
+namespace nomsky {
+
+class ThreadPool;
+
+/// \brief Construction knobs shared by every engine factory. Factories use
+/// the fields that apply to them and ignore the rest.
+struct EngineOptions {
+  /// Values materialized per nominal dimension (hybrid / IPO-Tree-k).
+  size_t topk = 10;
+  /// IPO set representation: bitmaps over S vs. sorted row vectors.
+  bool use_bitmaps = true;
+  /// Worker threads for IPO-tree construction (0 = hardware concurrency).
+  size_t build_threads = 1;
+  /// Partition-merge shards for SFS-D queries (1 = sequential).
+  size_t query_shards = 1;
+  /// Pool for parallel query paths; shared, never owned. May be null.
+  ThreadPool* pool = nullptr;
+  /// Observed workload, if any: "auto" plans with it and hybrid/ipo
+  /// materialize its popular values instead of the data-frequency top-k.
+  const QueryHistory* history = nullptr;
+};
+
+/// \brief Maps the shared options onto IPO-tree construction options — the
+/// one place the mapping lives, used by the "ipo"/"hybrid" factories and by
+/// AutoEngine so all tree-backed engines configure their trees identically.
+/// `truncate` selects the IPO-Tree-k form: top-k values per dimension, or
+/// the query-history materialization plan when a warm history is supplied.
+IpoTreeEngine::Options TreeOptionsFrom(const EngineOptions& options,
+                                       bool truncate);
+
+/// \brief String-keyed engine factory table. All methods are thread-safe.
+class EngineRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<SkylineEngine>>(
+      const Dataset& data, const PreferenceProfile& tmpl,
+      const EngineOptions& options)>;
+
+  /// \brief The process-wide registry, with built-in engines registered.
+  static EngineRegistry& Global();
+
+  /// \brief Adds an engine. Fails with AlreadyExists on a duplicate name.
+  Status Register(const std::string& name, const std::string& description,
+                  Factory factory);
+
+  /// \brief Builds the named engine. Unknown names fail with an
+  /// InvalidArgument status that lists every registered name.
+  Result<std::unique_ptr<SkylineEngine>> Create(
+      const std::string& name, const Dataset& data,
+      const PreferenceProfile& tmpl,
+      const EngineOptions& options = EngineOptions()) const;
+
+  /// \brief Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// \brief One-line description of a registered engine ("" if unknown).
+  std::string Description(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+
+  std::string JoinedNamesLocked() const;  // requires mutex_ held
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_ENGINE_REGISTRY_H_

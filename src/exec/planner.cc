@@ -1,0 +1,139 @@
+#include "exec/planner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "skyline/estimator.h"
+
+namespace nomsky {
+
+namespace {
+
+// Data-frequency top-k per nominal dimension, sorted by value id — the
+// fallback coverage lists when no query history is available. Mirrors the
+// IPO-Tree-k truncation heuristic.
+std::vector<std::vector<ValueId>> FrequencyPlan(const Dataset& data,
+                                                size_t k) {
+  const Schema& schema = data.schema();
+  std::vector<std::vector<ValueId>> plan(schema.num_nominal());
+  for (size_t j = 0; j < schema.num_nominal(); ++j) {
+    DimId d = schema.nominal_dims()[j];
+    std::vector<size_t> counts = data.ValueCounts(d);
+    std::vector<ValueId> values(counts.size());
+    for (ValueId v = 0; v < values.size(); ++v) values[v] = v;
+    std::stable_sort(values.begin(), values.end(),
+                     [&](ValueId a, ValueId b) {
+                       return counts[a] != counts[b] ? counts[a] > counts[b]
+                                                     : a < b;
+                     });
+    if (values.size() > k) values.resize(k);
+    std::sort(values.begin(), values.end());
+    plan[j] = std::move(values);
+  }
+  return plan;
+}
+
+std::string FormatFraction(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * value);
+  return buf;
+}
+
+}  // namespace
+
+QueryPlanner::QueryPlanner(const Dataset& data, const PreferenceProfile& tmpl,
+                           Options options)
+    : data_(&data), template_(&tmpl), options_(options) {
+  if (options_.history != nullptr && options_.history->num_recorded() > 0) {
+    popular_plan_ = options_.history->MaterializationPlan(options_.popular_topk);
+  } else {
+    popular_plan_ = FrequencyPlan(data, options_.popular_topk);
+  }
+}
+
+PlanDecision QueryPlanner::Choose(const PreferenceProfile& query) const {
+  Result<PreferenceProfile> combined = query.CombineWithTemplate(*template_);
+  if (!combined.ok()) {
+    // Let the most permissive engine surface the real error.
+    return PlanDecision{"sfsd", "query does not refine the template; "
+                                "routing to the baseline to report the error"};
+  }
+  const PreferenceProfile& effective = *combined;
+
+  // Mirror of the tree's own support test: dimensions the query leaves at
+  // the template's preference follow the φ path and need no materialized
+  // values, and template choices are always materialized — only the
+  // refinements beyond that must fall inside the popular lists.
+  bool tree_covered = true;
+  for (size_t j = 0; j < effective.num_nominal() && tree_covered; ++j) {
+    if (effective.pref(j) == template_->pref(j)) continue;
+    for (ValueId v : effective.pref(j).choices()) {
+      if (!std::binary_search(popular_plan_[j].begin(),
+                              popular_plan_[j].end(), v) &&
+          !template_->pref(j).ContainsValue(v)) {
+        tree_covered = false;
+        break;
+      }
+    }
+  }
+  if (tree_covered) {
+    return PlanDecision{
+        "hybrid", "all refined choices are materialized-popular values; "
+                  "expecting an IPO-tree hit (O(x^m') set operations)"};
+  }
+
+  const double est = AnalyticIndependentEstimate(data_->num_rows(),
+                                                 data_->schema(), effective);
+  const double fraction =
+      data_->num_rows() == 0
+          ? 0.0
+          : est / static_cast<double>(data_->num_rows());
+  if (fraction > options_.scan_bound_fraction) {
+    return PlanDecision{
+        "sfsd", "estimated skyline is " + FormatFraction(fraction) +
+                    " of the data (scan-bound); partitioned SFS-D wins"};
+  }
+  return PlanDecision{
+      "asfs", "unpopular values with an estimated skyline of " +
+                  FormatFraction(fraction) +
+                  " of the data; adaptive re-rank of the affected list wins"};
+}
+
+QueryPlanner::Options AutoEngine::PlannerOptions(
+    const EngineOptions& options) {
+  QueryPlanner::Options popts;
+  popts.popular_topk = options.topk;
+  popts.history = options.history;
+  return popts;
+}
+
+AutoEngine::AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
+                       const EngineOptions& options)
+    : hybrid_(data, tmpl, options.topk,
+              TreeOptionsFrom(options, /*truncate=*/true)),
+      sfsd_(data, tmpl, options.pool,
+            options.query_shards == 0 ? 1 : options.query_shards),
+      planner_(data, tmpl, PlannerOptions(options)) {}
+
+Result<std::vector<RowId>> AutoEngine::Query(
+    const PreferenceProfile& query) const {
+  return QueryExplained(query, nullptr);
+}
+
+Result<std::vector<RowId>> AutoEngine::QueryExplained(
+    const PreferenceProfile& query, PlanDecision* decision) const {
+  PlanDecision plan = planner_.Choose(query);
+  if (decision != nullptr) *decision = plan;
+  if (plan.engine == "hybrid") {
+    hybrid_hits_.fetch_add(1, std::memory_order_relaxed);
+    return hybrid_.Query(query);
+  }
+  if (plan.engine == "asfs") {
+    asfs_hits_.fetch_add(1, std::memory_order_relaxed);
+    return hybrid_.adaptive_sfs().Query(query);
+  }
+  sfsd_hits_.fetch_add(1, std::memory_order_relaxed);
+  return sfsd_.Query(query);
+}
+
+}  // namespace nomsky

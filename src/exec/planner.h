@@ -1,0 +1,125 @@
+// Auto query planner: routes each implicit-preference query to the engine
+// the paper's cost model favors for it, instead of pinning the whole
+// session to one strategy.
+//
+// The routing combines two signals:
+//   * materialization coverage — if every choice the (template-combined)
+//     query makes is materialized in the IPO tree's per-dimension value
+//     lists, the tree answers in O(x^m') set operations, the cheapest path
+//     by far. The lists come from QueryHistory (query-popular values,
+//     Section 3.1) when a history is supplied, else the data-frequency
+//     top-k.
+//   * skyline cardinality — AnalyticIndependentEstimate (the paper's [4]
+//     cost-estimation line) predicts |SKY(R̃')|. A small predicted skyline
+//     means few affected points, where Adaptive SFS's O(l log n + min(c,l)n)
+//     re-rank wins; a huge one means most points survive every comparison
+//     window and the query is scan-bound, where the partitioned parallel
+//     SFS-D baseline is the better fit.
+//
+// AutoEngine wraps the planner behind the SkylineEngine interface so "auto"
+// is just another registry name. The per-query decisions stay observable:
+// QueryExplained returns the routing verdict, and dispatch_counts()
+// aggregates them for a stats line.
+
+#ifndef NOMSKY_EXEC_PLANNER_H_
+#define NOMSKY_EXEC_PLANNER_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "exec/engine_registry.h"
+
+namespace nomsky {
+
+/// \brief One routing verdict: which registry engine, and why.
+struct PlanDecision {
+  std::string engine;  ///< registry name: "hybrid", "asfs" or "sfsd"
+  std::string reason;  ///< human-readable explanation (--explain output)
+};
+
+/// \brief Stateless per-query router. Thread-safe: all state is fixed at
+/// construction.
+class QueryPlanner {
+ public:
+  struct Options {
+    /// Values per dimension assumed materialized in the tree.
+    size_t popular_topk = 10;
+    /// Estimated |SKY(R̃')| / |D| above which the query counts as
+    /// scan-bound and is routed to the parallel SFS-D baseline.
+    double scan_bound_fraction = 0.25;
+    /// Observed workload; when it has recorded queries, its popular values
+    /// replace the data-frequency top-k as the coverage lists.
+    const QueryHistory* history = nullptr;
+  };
+
+  QueryPlanner(const Dataset& data, const PreferenceProfile& tmpl,
+               Options options);
+
+  /// \brief Routing verdict for one query.
+  PlanDecision Choose(const PreferenceProfile& query) const;
+
+  /// \brief Per-dimension value lists assumed materialized (sorted).
+  const std::vector<std::vector<ValueId>>& popular_plan() const {
+    return popular_plan_;
+  }
+
+ private:
+  const Dataset* data_;
+  const PreferenceProfile* template_;
+  Options options_;
+  std::vector<std::vector<ValueId>> popular_plan_;
+};
+
+/// \brief Planner-routed engine: builds one Hybrid (IPO-Tree-k with an
+/// Adaptive SFS fallback — the ASFS instance inside doubles as the "asfs"
+/// route) plus the parallel SFS-D baseline, and dispatches each query per
+/// QueryPlanner::Choose. Query is const-thread-safe like every engine.
+class AutoEngine : public SkylineEngine {
+ public:
+  AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
+             const EngineOptions& options);
+
+  const char* name() const override { return "Auto"; }
+
+  Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const override;
+
+  /// \brief Query plus the routing verdict that produced the answer.
+  Result<std::vector<RowId>> QueryExplained(const PreferenceProfile& query,
+                                            PlanDecision* decision) const;
+
+  size_t MemoryUsage() const override { return hybrid_.MemoryUsage(); }
+  double preprocessing_seconds() const override {
+    return hybrid_.preprocessing_seconds();
+  }
+
+  const QueryPlanner& planner() const { return planner_; }
+
+  /// \brief Queries dispatched to each route so far.
+  struct DispatchCounts {
+    size_t hybrid = 0;
+    size_t asfs = 0;
+    size_t sfsd = 0;
+  };
+  DispatchCounts dispatch_counts() const {
+    return DispatchCounts{hybrid_hits_.load(std::memory_order_relaxed),
+                          asfs_hits_.load(std::memory_order_relaxed),
+                          sfsd_hits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static QueryPlanner::Options PlannerOptions(const EngineOptions& options);
+
+  HybridEngine hybrid_;
+  SfsDirectEngine sfsd_;
+  QueryPlanner planner_;
+  mutable std::atomic<size_t> hybrid_hits_{0};
+  mutable std::atomic<size_t> asfs_hits_{0};
+  mutable std::atomic<size_t> sfsd_hits_{0};
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_PLANNER_H_

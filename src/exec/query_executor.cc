@@ -1,0 +1,39 @@
+#include "exec/query_executor.h"
+
+#include <mutex>
+
+#include "common/timer.h"
+
+namespace nomsky {
+
+BatchResult QueryExecutor::RunBatch(
+    const std::vector<PreferenceProfile>& queries,
+    QueryHistory* history) const {
+  BatchResult batch;
+  batch.rows.resize(queries.size());
+  batch.statuses.resize(queries.size());
+
+  std::mutex history_mutex;
+  WallTimer timer;
+  ParallelFor(pool_, queries.size(), [&](size_t i) {
+    Result<std::vector<RowId>> result = engine_->Query(queries[i]);
+    if (result.ok()) {
+      batch.rows[i] = std::move(result).ValueOrDie();
+      // Only answered queries enter the popularity statistics — failed
+      // ones must not steer future materialization plans.
+      if (history != nullptr) {
+        std::lock_guard<std::mutex> lock(history_mutex);
+        history->Record(queries[i]);
+      }
+    } else {
+      batch.statuses[i] = result.status();
+    }
+  });
+  batch.seconds = timer.ElapsedSeconds();
+  for (const Status& s : batch.statuses) {
+    if (!s.ok()) ++batch.failures;
+  }
+  return batch;
+}
+
+}  // namespace nomsky

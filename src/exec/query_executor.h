@@ -1,0 +1,56 @@
+// QueryExecutor: fans a batch of implicit-preference queries out across a
+// ThreadPool against one shared read-only engine — the serving loop of the
+// paper's online-analysis setting (many users, one materialized structure).
+//
+// Relies on the SkylineEngine thread-safety contract (core/engine.h):
+// Query is const-thread-safe, so the executor needs no locking around the
+// engine itself. Results come back in input order; a failed query records
+// its status without aborting the rest of the batch.
+
+#ifndef NOMSKY_EXEC_QUERY_EXECUTOR_H_
+#define NOMSKY_EXEC_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/query_history.h"
+#include "exec/thread_pool.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+
+/// \brief Outcome of one batch: per-query rows/status in input order.
+struct BatchResult {
+  std::vector<std::vector<RowId>> rows;  ///< rows[i] valid iff statuses[i] ok
+  std::vector<Status> statuses;
+  double seconds = 0.0;  ///< wall time of the whole batch
+  size_t failures = 0;
+
+  double QueriesPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(rows.size()) / seconds : 0.0;
+  }
+};
+
+/// \brief Batched evaluation of one engine on a pool.
+class QueryExecutor {
+ public:
+  /// The engine and pool (may be null: sequential) must outlive the
+  /// executor; neither is owned.
+  QueryExecutor(const SkylineEngine& engine, ThreadPool* pool)
+      : engine_(&engine), pool_(pool) {}
+
+  /// \brief Runs every query, fanning out across the pool. When `history`
+  /// is non-null each query is recorded into it (serialized internally —
+  /// QueryHistory itself is not thread-safe).
+  BatchResult RunBatch(const std::vector<PreferenceProfile>& queries,
+                       QueryHistory* history = nullptr) const;
+
+ private:
+  const SkylineEngine* engine_;
+  ThreadPool* pool_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_QUERY_EXECUTOR_H_

@@ -1,0 +1,112 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace nomsky {
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t workers = pool == nullptr ? 1 : pool->num_threads();
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Indices are claimed from a shared counter and completion is counted per
+  // index. Helper tasks that get scheduled after the loop already finished
+  // find the counter exhausted and exit; the shared state (including the
+  // copied body) outlives them via shared_ptr.
+  struct LoopState {
+    explicit LoopState(size_t total, std::function<void(size_t)> fn)
+        : n(total), body(std::move(fn)) {}
+    const size_t n;
+    const std::function<void(size_t)> body;
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t completed = 0;  // guarded by mutex
+  };
+  auto state = std::make_shared<LoopState>(n, body);
+
+  auto drain = [](const std::shared_ptr<LoopState>& s) {
+    size_t local_done = 0;
+    for (size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+         i < s->n; i = s->next.fetch_add(1, std::memory_order_relaxed)) {
+      s->body(i);
+      ++local_done;
+    }
+    if (local_done > 0) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->completed += local_done;
+      if (s->completed == s->n) s->done_cv.notify_all();
+    }
+  };
+
+  const size_t helpers = std::min(workers, n) - 1;  // caller is a worker too
+  for (size_t t = 0; t < helpers; ++t) {
+    pool->Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->completed == state->n; });
+}
+
+}  // namespace nomsky

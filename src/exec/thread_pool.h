@@ -1,0 +1,68 @@
+// ThreadPool + ParallelFor: the execution primitives of the exec layer.
+//
+// A fixed-size pool of workers draining a FIFO of std::function tasks.
+// Deliberately simple — no work stealing, no priorities — but safe to use
+// from inside its own tasks: ParallelFor never blocks waiting for a pool
+// slot (the calling thread participates in the loop and completion is
+// tracked per index, not per task), so nested data parallelism degrades to
+// sequential execution instead of deadlocking when every worker is busy.
+
+#ifndef NOMSKY_EXEC_THREAD_POOL_H_
+#define NOMSKY_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nomsky {
+
+/// \brief Fixed-size worker pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief std::thread::hardware_concurrency clamped to at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs body(i) for every i in [0, n), distributing indices across
+/// the pool; blocks until all n calls return. The calling thread always
+/// participates, so `pool` may be null or saturated (the loop then runs
+/// inline). Body must not throw; distinct indices may run concurrently, so
+/// body must be safe for that.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "skyline/general.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "exec/thread_pool.h"
 
 namespace nomsky {
 
@@ -33,42 +35,55 @@ std::vector<uint32_t> TopologicalRanks(const PartialOrder& order) {
   return rank;
 }
 
-std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
-                                     const std::vector<PartialOrder>& orders,
-                                     const std::vector<RowId>& candidates) {
-  const Schema& schema = data.schema();
-  NOMSKY_CHECK(orders.size() == schema.num_nominal());
+namespace {
 
-  std::vector<std::vector<uint32_t>> ranks;
-  ranks.reserve(orders.size());
-  for (const PartialOrder& order : orders) {
-    ranks.push_back(TopologicalRanks(order));
-  }
-  std::vector<double> sign(schema.num_numeric());
-  for (size_t i = 0; i < schema.num_numeric(); ++i) {
-    sign[i] = schema.dim(schema.numeric_dims()[i]).direction() ==
-                      SortDirection::kMinBetter
-                  ? 1.0
-                  : -1.0;
+// The monotone presort score shared by the sequential and parallel paths:
+// oriented numeric values plus per-dimension topological ranks.
+struct GeneralScorer {
+  GeneralScorer(const Dataset& data, const std::vector<PartialOrder>& orders)
+      : data(&data) {
+    const Schema& schema = data.schema();
+    ranks.reserve(orders.size());
+    for (const PartialOrder& order : orders) {
+      ranks.push_back(TopologicalRanks(order));
+    }
+    sign.resize(schema.num_numeric());
+    for (size_t i = 0; i < schema.num_numeric(); ++i) {
+      sign[i] = schema.dim(schema.numeric_dims()[i]).direction() ==
+                        SortDirection::kMinBetter
+                    ? 1.0
+                    : -1.0;
+    }
   }
 
-  auto score = [&](RowId r) {
+  double operator()(RowId r) const {
     double s = 0.0;
     for (size_t i = 0; i < sign.size(); ++i) {
-      s += sign[i] * data.numeric_column(i)[r];
+      s += sign[i] * data->numeric_column(i)[r];
     }
     for (size_t j = 0; j < ranks.size(); ++j) {
-      s += ranks[j][data.nominal_column(j)[r]];
+      s += ranks[j][data->nominal_column(j)[r]];
     }
     return s;
-  };
+  }
 
+  const Dataset* data;
+  std::vector<std::vector<uint32_t>> ranks;
+  std::vector<double> sign;
+};
+
+std::vector<std::pair<double, RowId>> SortedByScore(
+    const GeneralScorer& score, const std::vector<RowId>& candidates) {
   std::vector<std::pair<double, RowId>> sorted;
   sorted.reserve(candidates.size());
   for (RowId r : candidates) sorted.emplace_back(score(r), r);
   std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
 
-  GeneralDominanceComparator cmp(data, orders);
+std::vector<RowId> ExtractSkyline(
+    const GeneralDominanceComparator& cmp,
+    const std::vector<std::pair<double, RowId>>& sorted) {
   std::vector<RowId> skyline;
   for (const auto& [s, r] : sorted) {
     bool dominated = false;
@@ -81,6 +96,61 @@ std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
     if (!dominated) skyline.push_back(r);
   }
   return skyline;
+}
+
+}  // namespace
+
+std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
+                                     const std::vector<PartialOrder>& orders,
+                                     const std::vector<RowId>& candidates) {
+  const Schema& schema = data.schema();
+  NOMSKY_CHECK(orders.size() == schema.num_nominal());
+  GeneralScorer score(data, orders);
+  GeneralDominanceComparator cmp(data, orders);
+  return ExtractSkyline(cmp, SortedByScore(score, candidates));
+}
+
+std::vector<RowId> ParallelGeneralSfsSkyline(
+    const Dataset& data, const std::vector<PartialOrder>& orders,
+    const std::vector<RowId>& candidates, ThreadPool* pool, size_t shards) {
+  if (shards <= 1 || candidates.size() < 2 * shards) {
+    return GeneralSfsSkyline(data, orders, candidates);
+  }
+  const Schema& schema = data.schema();
+  NOMSKY_CHECK(orders.size() == schema.num_nominal());
+  GeneralScorer score(data, orders);
+  GeneralDominanceComparator cmp(data, orders);
+
+  // Local pass: per-shard skylines, kept with scores for the final merge.
+  std::vector<std::vector<std::pair<double, RowId>>> local(shards);
+  const size_t per_shard = (candidates.size() + shards - 1) / shards;
+  ParallelFor(pool, shards, [&](size_t s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(candidates.size(), begin + per_shard);
+    std::vector<RowId> slice(candidates.begin() + begin,
+                             candidates.begin() + end);
+    std::vector<std::pair<double, RowId>> sorted =
+        SortedByScore(score, slice);
+    std::vector<RowId> sky = ExtractSkyline(cmp, sorted);
+    std::vector<std::pair<double, RowId>>& mine = local[s];
+    mine.reserve(sky.size());
+    size_t cursor = 0;  // sky is an in-order subsequence of sorted
+    for (RowId r : sky) {
+      while (sorted[cursor].second != r) ++cursor;
+      mine.push_back(sorted[cursor]);
+    }
+  });
+
+  // Merge pass over the union of local skylines.
+  std::vector<std::pair<double, RowId>> merged;
+  size_t total = 0;
+  for (const auto& shard : local) total += shard.size();
+  merged.reserve(total);
+  for (const auto& shard : local) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  return ExtractSkyline(cmp, merged);
 }
 
 }  // namespace nomsky

@@ -30,6 +30,18 @@ std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
                                      const std::vector<PartialOrder>& orders,
                                      const std::vector<RowId>& candidates);
 
+class ThreadPool;
+
+/// \brief Partition-then-merge GeneralSfsSkyline for large inputs: the
+/// candidates are sharded, each shard's local skyline is extracted on the
+/// pool, and one merge extraction over the union removes cross-shard
+/// dominated points (global skyline points always survive their own shard,
+/// so the union is lossless). Returns the same rows as GeneralSfsSkyline.
+/// `pool` may be null and `shards` <= 1 degrades to the sequential path.
+std::vector<RowId> ParallelGeneralSfsSkyline(
+    const Dataset& data, const std::vector<PartialOrder>& orders,
+    const std::vector<RowId>& candidates, ThreadPool* pool, size_t shards);
+
 }  // namespace nomsky
 
 #endif  // NOMSKY_SKYLINE_GENERAL_H_

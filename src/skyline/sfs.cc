@@ -1,6 +1,9 @@
 #include "skyline/sfs.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "exec/thread_pool.h"
 
 namespace nomsky {
 
@@ -44,6 +47,62 @@ std::vector<RowId> SfsSkyline(const Dataset& data,
   std::vector<ScoredRow> sorted = PresortByScore(data, ranks, candidates);
   DominanceComparator cmp(data, profile);
   return SfsExtract(cmp, sorted, stats);
+}
+
+std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
+                                      const PreferenceProfile& profile,
+                                      const std::vector<RowId>& candidates,
+                                      ThreadPool* pool, size_t shards,
+                                      SfsStats* stats) {
+  if (shards <= 1 || candidates.size() < 2 * shards) {
+    return SfsSkyline(data, profile, candidates, stats);
+  }
+  RankTable ranks(data.schema(), profile);
+  DominanceComparator cmp(data, profile);
+
+  // Local pass: each shard presorts its slice and keeps the surviving
+  // (score, row) pairs, still in score order.
+  std::vector<std::vector<ScoredRow>> local(shards);
+  std::atomic<size_t> shard_tests{0};
+  const size_t per_shard = (candidates.size() + shards - 1) / shards;
+  ParallelFor(pool, shards, [&](size_t s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(candidates.size(), begin + per_shard);
+    std::vector<RowId> slice(candidates.begin() + begin,
+                             candidates.begin() + end);
+    std::vector<ScoredRow> sorted = PresortByScore(data, ranks, slice);
+    SfsStats shard_stats;
+    std::vector<RowId> sky = SfsExtract(cmp, sorted, &shard_stats);
+    shard_tests.fetch_add(shard_stats.dominance_tests,
+                          std::memory_order_relaxed);
+    std::vector<ScoredRow>& mine = local[s];
+    mine.reserve(sky.size());
+    // SfsExtract emits a score-ordered subsequence of `sorted`; recover the
+    // scores by walking the two in lockstep.
+    size_t cursor = 0;
+    for (RowId r : sky) {
+      while (sorted[cursor].row != r) ++cursor;
+      mine.push_back(sorted[cursor]);
+    }
+  });
+
+  // Merge pass: union of the local skylines, re-sorted, one last extraction.
+  std::vector<ScoredRow> merged;
+  size_t total = 0;
+  for (const auto& shard : local) total += shard.size();
+  merged.reserve(total);
+  for (const auto& shard : local) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  SfsStats merge_stats;
+  std::vector<RowId> skyline = SfsExtract(cmp, merged, &merge_stats);
+  if (stats != nullptr) {
+    stats->dominance_tests =
+        shard_tests.load(std::memory_order_relaxed) +
+        merge_stats.dominance_tests;
+  }
+  return skyline;
 }
 
 }  // namespace nomsky

@@ -49,6 +49,24 @@ std::vector<RowId> SfsSkyline(const Dataset& data,
                               const std::vector<RowId>& candidates,
                               SfsStats* stats = nullptr);
 
+class ThreadPool;
+
+/// \brief Partition-then-merge SFS: candidates are split into `shards`
+/// slices, each slice's local skyline is extracted independently (on the
+/// pool when one is given), the presorted local skylines are merged, and a
+/// final extraction pass removes cross-shard dominated points. Global
+/// skyline points survive their own shard, so the union of local skylines
+/// is a lossless candidate set and the result equals SfsSkyline on the
+/// same inputs (row order may differ only among equal scores — both paths
+/// break score ties by row id). `pool` may be null and `shards` <= 1, which
+/// degrade to the sequential path. `stats` sums the dominance tests of all
+/// shards plus the merge pass.
+std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
+                                      const PreferenceProfile& profile,
+                                      const std::vector<RowId>& candidates,
+                                      ThreadPool* pool, size_t shards,
+                                      SfsStats* stats = nullptr);
+
 }  // namespace nomsky
 
 #endif  // NOMSKY_SKYLINE_SFS_H_

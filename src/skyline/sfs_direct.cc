@@ -8,8 +8,18 @@ Result<std::vector<RowId>> SfsDirect::Query(
     const PreferenceProfile& query) const {
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
-  return SfsSkyline(*data_, effective, AllRows(data_->num_rows()),
-                    &last_stats_);
+  SfsStats stats;
+  std::vector<RowId> candidates = AllRows(data_->num_rows());
+  std::vector<RowId> skyline;
+  if (shards_ > 1 && candidates.size() >= kParallelThreshold) {
+    skyline = ParallelSfsSkyline(*data_, effective, candidates, pool_,
+                                 shards_, &stats);
+  } else {
+    skyline = SfsSkyline(*data_, effective, candidates, &stats);
+  }
+  last_dominance_tests_.store(stats.dominance_tests,
+                              std::memory_order_relaxed);
+  return skyline;
 }
 
 }  // namespace nomsky

@@ -3,10 +3,16 @@
 // from scratch — no preprocessing, no storage, and query times that "cannot
 // meet real-time requirements" (Section 5.3). It is the correctness anchor
 // the fast engines are compared against.
+//
+// For large inputs the scan is data-parallel: with `shards` > 1 and a
+// ThreadPool, Query runs the partition-then-merge path (ParallelSfsSkyline)
+// instead of one sequential pass.
 
 #ifndef NOMSKY_SKYLINE_SFS_DIRECT_H_
 #define NOMSKY_SKYLINE_SFS_DIRECT_H_
 
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "common/dataset.h"
@@ -16,24 +22,38 @@
 
 namespace nomsky {
 
-/// \brief Stateless per-query SFS over the full dataset.
+class ThreadPool;
+
+/// \brief Stateless per-query SFS over the full dataset. Query is const and
+/// safe to call concurrently.
 class SfsDirect {
  public:
-  /// The dataset and template must outlive the engine.
-  SfsDirect(const Dataset& data, const PreferenceProfile& tmpl)
-      : data_(&data), template_(&tmpl) {}
+  /// The dataset and template must outlive the engine. When `shards` > 1,
+  /// queries over datasets of at least `parallel_threshold` rows use the
+  /// partition-then-merge path on `pool` (which must then outlive the
+  /// engine; the pool is shared, never owned).
+  SfsDirect(const Dataset& data, const PreferenceProfile& tmpl,
+            ThreadPool* pool = nullptr, size_t shards = 1)
+      : data_(&data), template_(&tmpl), pool_(pool), shards_(shards) {}
 
   /// \brief SKY(R̃') for a user preference refining the template.
   /// Dimensions the query leaves empty inherit the template's preference.
   Result<std::vector<RowId>> Query(const PreferenceProfile& query) const;
 
-  /// \brief Dominance tests performed by the last Query call.
-  size_t last_dominance_tests() const { return last_stats_.dominance_tests; }
+  /// \brief Dominance tests performed by the most recently finished Query.
+  size_t last_dominance_tests() const {
+    return last_dominance_tests_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Rows below which Query stays sequential even with shards > 1.
+  static constexpr size_t kParallelThreshold = 4096;
 
  private:
   const Dataset* data_;
   const PreferenceProfile* template_;
-  mutable SfsStats last_stats_;
+  ThreadPool* pool_;
+  size_t shards_;
+  mutable std::atomic<size_t> last_dominance_tests_{0};
 };
 
 }  // namespace nomsky

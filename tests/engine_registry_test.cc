@@ -1,0 +1,91 @@
+// EngineRegistry: built-in coverage, creation, custom registration, and
+// the unknown-name error contract (it must list the valid names).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/thread_pool.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+Dataset SmallData(uint64_t seed) {
+  gen::GenConfig config;
+  config.num_rows = 200;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 5;
+  config.seed = seed;
+  return gen::Generate(config);
+}
+
+TEST(EngineRegistryTest, BuiltinsAreRegistered) {
+  std::vector<std::string> names = EngineRegistry::Global().Names();
+  for (const char* expected : {"asfs", "auto", "hybrid", "ipo", "sfsd"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected;
+    EXPECT_TRUE(EngineRegistry::Global().Contains(expected));
+    EXPECT_FALSE(EngineRegistry::Global().Description(expected).empty());
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(EngineRegistryTest, UnknownEngineErrorListsValidNames) {
+  Dataset data = SmallData(1);
+  PreferenceProfile tmpl(data.schema());
+  auto result = EngineRegistry::Global().Create("warp-drive", data, tmpl);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  const std::string message = result.status().message();
+  for (const char* name : {"asfs", "auto", "hybrid", "ipo", "sfsd"}) {
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+  }
+}
+
+TEST(EngineRegistryTest, EveryBuiltinAnswersQueries) {
+  Dataset data = SmallData(2);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(3);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+  DominanceComparator cmp(data, combined);
+  std::vector<RowId> truth = NaiveSkyline(cmp, AllRows(data.num_rows()));
+  std::sort(truth.begin(), truth.end());
+
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.query_shards = 2;
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    auto engine = EngineRegistry::Global().Create(name, data, tmpl, options);
+    ASSERT_TRUE(engine.ok()) << name << ": "
+                             << engine.status().ToString();
+    auto rows = (*engine)->Query(query);
+    ASSERT_TRUE(rows.ok()) << name << ": " << rows.status().ToString();
+    std::sort(rows->begin(), rows->end());
+    EXPECT_EQ(*rows, truth) << name;
+  }
+}
+
+TEST(EngineRegistryTest, DuplicateRegistrationFails) {
+  EngineRegistry registry;
+  auto factory = [](const Dataset& data, const PreferenceProfile& tmpl,
+                    const EngineOptions&)
+      -> Result<std::unique_ptr<SkylineEngine>> {
+    return std::unique_ptr<SkylineEngine>(
+        std::make_unique<SfsDirectEngine>(data, tmpl));
+  };
+  ASSERT_TRUE(registry.Register("mine", "test engine", factory).ok());
+  Status dup = registry.Register("mine", "again", factory);
+  EXPECT_TRUE(dup.IsAlreadyExists());
+  EXPECT_TRUE(registry.Register("", "no name", factory).IsInvalidArgument());
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -1,0 +1,163 @@
+// QueryPlanner / AutoEngine: routing must be observable and every route
+// must return the correct skyline; history-driven popularity must steer
+// coverage decisions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/generator.h"
+#include "exec/planner.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t cardinality = 8) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = cardinality;
+  config.seed = seed;
+  return gen::Generate(config);
+}
+
+TEST(QueryPlannerTest, PopularQueryRoutesToHybrid) {
+  Dataset data = MakeData(21);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  QueryPlanner::Options options;
+  QueryPlanner planner(data, tmpl, options);
+
+  // The frequency plan materializes every value here (topk=10 >= c=8), so
+  // any refinement is covered.
+  Rng rng(22);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  PlanDecision decision = planner.Choose(query);
+  EXPECT_EQ(decision.engine, "hybrid");
+  EXPECT_FALSE(decision.reason.empty());
+}
+
+TEST(QueryPlannerTest, UnpopularValueAvoidsTheTree) {
+  Dataset data = MakeData(23);
+  PreferenceProfile tmpl(data.schema());
+  QueryPlanner::Options options;
+  options.popular_topk = 2;  // most values are NOT materialized
+  QueryPlanner planner(data, tmpl, options);
+  ASSERT_EQ(planner.popular_plan()[0].size(), 2u);
+
+  // Prefer a value outside the 2-value plan on dimension 0.
+  ValueId unpopular = 0;
+  while (std::binary_search(planner.popular_plan()[0].begin(),
+                            planner.popular_plan()[0].end(), unpopular)) {
+    ++unpopular;
+  }
+  PreferenceProfile query(data.schema());
+  const Schema& schema = data.schema();
+  size_t card = schema.dim(schema.nominal_dims()[0]).cardinality();
+  ASSERT_TRUE(
+      query
+          .SetPref(0, ImplicitPreference::Make(card, {unpopular}).ValueOrDie())
+          .ok());
+  PlanDecision decision = planner.Choose(query);
+  EXPECT_NE(decision.engine, "hybrid") << decision.reason;
+}
+
+// Dimensions the query leaves at the template's preference follow the
+// tree's φ path and need no materialized values — an unpopular TEMPLATE
+// choice must not veto the hybrid route (template choices are always
+// materialized).
+TEST(QueryPlannerTest, TemplateInheritedDimsDoNotBlockTheTree) {
+  Dataset data = MakeData(28);
+  const Schema& schema = data.schema();
+  size_t card = schema.dim(schema.nominal_dims()[0]).cardinality();
+
+  QueryPlanner::Options options;
+  options.popular_topk = 2;
+  {
+    // Find a value outside the 2-value frequency plan to put in the
+    // template.
+    QueryPlanner probe(data, PreferenceProfile(data.schema()), options);
+    ValueId unpopular = 0;
+    while (std::binary_search(probe.popular_plan()[0].begin(),
+                              probe.popular_plan()[0].end(), unpopular)) {
+      ++unpopular;
+    }
+    PreferenceProfile tmpl(data.schema());
+    ASSERT_TRUE(
+        tmpl.SetPref(0, ImplicitPreference::Make(card, {unpopular})
+                            .ValueOrDie())
+            .ok());
+    QueryPlanner planner(data, tmpl, options);
+    // The empty query inherits the template everywhere: all φ, tree hit.
+    PlanDecision decision = planner.Choose(PreferenceProfile(data.schema()));
+    EXPECT_EQ(decision.engine, "hybrid") << decision.reason;
+  }
+}
+
+TEST(QueryPlannerTest, HistoryPopularityOverridesDataFrequency) {
+  Dataset data = MakeData(24);
+  PreferenceProfile tmpl(data.schema());
+  const Schema& schema = data.schema();
+  size_t card = schema.dim(schema.nominal_dims()[0]).cardinality();
+
+  // A history where only value 5 is ever asked for.
+  QueryHistory history(schema);
+  PreferenceProfile popular(data.schema());
+  ASSERT_TRUE(
+      popular.SetPref(0, ImplicitPreference::Make(card, {5}).ValueOrDie())
+          .ok());
+  for (int i = 0; i < 20; ++i) history.Record(popular);
+
+  QueryPlanner::Options options;
+  options.popular_topk = 3;
+  options.history = &history;
+  QueryPlanner planner(data, tmpl, options);
+  EXPECT_EQ(planner.popular_plan()[0], std::vector<ValueId>{5});
+  EXPECT_EQ(planner.Choose(popular).engine, "hybrid");
+}
+
+TEST(AutoEngineTest, EveryRouteReturnsTheCorrectSkyline) {
+  Dataset data = MakeData(25);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  EngineOptions options;
+  options.topk = 2;  // small materialization so some queries miss the tree
+  AutoEngine engine(data, tmpl, options);
+
+  Rng rng(26);
+  size_t answered = 0;
+  for (size_t i = 0; i < 24; ++i) {
+    PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+    PlanDecision decision;
+    auto rows = engine.QueryExplained(query, &decision);
+    ASSERT_TRUE(rows.ok()) << decision.engine << ": "
+                           << rows.status().ToString();
+    ++answered;
+    EXPECT_TRUE(decision.engine == "hybrid" || decision.engine == "asfs" ||
+                decision.engine == "sfsd")
+        << decision.engine;
+    EXPECT_FALSE(decision.reason.empty());
+
+    auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+    DominanceComparator cmp(data, combined);
+    std::vector<RowId> truth = NaiveSkyline(cmp, AllRows(data.num_rows()));
+    std::sort(truth.begin(), truth.end());
+    std::sort(rows->begin(), rows->end());
+    EXPECT_EQ(*rows, truth) << "routed to " << decision.engine;
+  }
+  AutoEngine::DispatchCounts counts = engine.dispatch_counts();
+  EXPECT_EQ(counts.hybrid + counts.asfs + counts.sfsd, answered);
+}
+
+TEST(AutoEngineTest, ReportsFootprintOfUnderlyingEngines) {
+  Dataset data = MakeData(27);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AutoEngine engine(data, tmpl, EngineOptions());
+  EXPECT_GT(engine.MemoryUsage(), 0u);
+  EngineFootprint footprint = Footprint(engine);
+  EXPECT_EQ(footprint.name, "Auto");
+  EXPECT_EQ(footprint.memory_bytes, engine.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace nomsky

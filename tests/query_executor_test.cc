@@ -1,0 +1,118 @@
+// QueryExecutor: batch answers must match one-at-a-time answers in input
+// order regardless of thread count, failures must be isolated per query,
+// and history recording must count every query once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adaptive_sfs.h"
+#include "datagen/generator.h"
+#include "exec/query_executor.h"
+
+namespace nomsky {
+namespace {
+
+struct Workload {
+  Dataset data;
+  PreferenceProfile tmpl;
+  std::vector<PreferenceProfile> queries;
+};
+
+Workload MakeWorkload(size_t num_queries, uint64_t seed) {
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.seed = seed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(seed + 1);
+  std::vector<PreferenceProfile> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(gen::RandomImplicitQuery(data, tmpl, 2, &rng));
+  }
+  return Workload{std::move(data), std::move(tmpl), std::move(queries)};
+}
+
+TEST(QueryExecutorTest, BatchMatchesSequentialInInputOrder) {
+  Workload w = MakeWorkload(60, 11);
+  AdaptiveSfsEngine engine(w.data, w.tmpl);
+
+  std::vector<std::vector<RowId>> expected;
+  for (const PreferenceProfile& q : w.queries) {
+    expected.push_back(engine.Query(q).ValueOrDie());
+  }
+
+  for (size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    QueryExecutor executor(engine, &pool);
+    BatchResult batch = executor.RunBatch(w.queries);
+    ASSERT_EQ(batch.rows.size(), w.queries.size());
+    EXPECT_EQ(batch.failures, 0u);
+    EXPECT_GE(batch.seconds, 0.0);
+    for (size_t i = 0; i < w.queries.size(); ++i) {
+      ASSERT_TRUE(batch.statuses[i].ok());
+      EXPECT_EQ(batch.rows[i], expected[i]) << "query " << i << " on "
+                                            << threads << " threads";
+    }
+  }
+}
+
+TEST(QueryExecutorTest, NullPoolRunsSequentially) {
+  Workload w = MakeWorkload(5, 12);
+  AdaptiveSfsEngine engine(w.data, w.tmpl);
+  QueryExecutor executor(engine, nullptr);
+  BatchResult batch = executor.RunBatch(w.queries);
+  EXPECT_EQ(batch.rows.size(), 5u);
+  EXPECT_EQ(batch.failures, 0u);
+}
+
+TEST(QueryExecutorTest, PerQueryFailuresAreIsolated) {
+  Workload w = MakeWorkload(4, 13);
+  // A query on a conflicting template refinement fails CombineWithTemplate;
+  // build one by ordering values against the template's first choice.
+  const ImplicitPreference& tpref = w.tmpl.pref(0);
+  ASSERT_GE(tpref.order(), 1u);
+  ValueId first = tpref.choices()[0];
+  ValueId other = first == 0 ? 1 : 0;
+  PreferenceProfile conflicting = w.tmpl;
+  ImplicitPreference flipped =
+      ImplicitPreference::Make(tpref.cardinality(), {other, first})
+          .ValueOrDie();
+  ASSERT_TRUE(conflicting.SetPref(0, flipped).ok());
+  std::vector<PreferenceProfile> queries;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    if (i == 2) queries.push_back(conflicting);
+    queries.push_back(w.queries[i]);
+  }
+
+  AdaptiveSfsEngine engine(w.data, w.tmpl);
+  ThreadPool pool(4);
+  QueryExecutor executor(engine, &pool);
+  BatchResult batch = executor.RunBatch(queries);
+  EXPECT_EQ(batch.failures, 1u);
+  EXPECT_FALSE(batch.statuses[2].ok());
+  EXPECT_TRUE(batch.rows[2].empty());
+  for (size_t i = 0; i < batch.statuses.size(); ++i) {
+    if (i != 2) {
+      EXPECT_TRUE(batch.statuses[i].ok()) << i;
+      EXPECT_FALSE(batch.rows[i].empty()) << i;
+    }
+  }
+}
+
+TEST(QueryExecutorTest, RecordsEveryQueryIntoHistory) {
+  Workload w = MakeWorkload(32, 14);
+  AdaptiveSfsEngine engine(w.data, w.tmpl);
+  ThreadPool pool(4);
+  QueryExecutor executor(engine, &pool);
+  QueryHistory history(w.data.schema());
+  BatchResult batch = executor.RunBatch(w.queries, &history);
+  EXPECT_EQ(batch.failures, 0u);
+  EXPECT_EQ(history.num_recorded(), w.queries.size());
+}
+
+}  // namespace
+}  // namespace nomsky

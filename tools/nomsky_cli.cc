@@ -2,32 +2,42 @@
 //
 // Usage:
 //   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
-//              [--engine ipo|asfs|sfsd|hybrid] [--topk K] [--limit N]
-//              [QUERY ...]
+//              [--engine NAME|auto] [--threads N] [--batch FILE]
+//              [--explain] [--topk K] [--limit N] [QUERY ...]
+//   nomsky_cli --list-engines
 //
 // SPEC is a comma-separated dimension list:
 //   price:min,stars:max,group:nom{T|H|M},airline:nom{G|R|W}
 // PREFS / QUERY use the library's preference syntax per dimension,
 // separated by ';':
 //   "group: T<M<*; airline: G<*"
-// Queries come from the command line, or from stdin (one per line) when
-// none are given. For each query the matching rows are printed as CSV.
+// Queries come from the command line, from --batch FILE (one per line), or
+// from stdin (one per line) when neither is given. For each query the
+// matching rows are printed as CSV.
+//
+// Engines are resolved through the EngineRegistry (--list-engines shows
+// them). Command-line / batch-file queries are executed as one batch fanned
+// out over --threads worker threads; --engine=auto routes each query
+// through the planner, and --explain prints the per-query routing verdict.
 //
 // Example:
 //   nomsky_cli --csv packages.csv --schema "price:min,stars:max,group:nom{T|H|M}" "group: T<M<*"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "core/adaptive_sfs.h"
-#include "core/hybrid.h"
-#include "core/ipo_tree.h"
 #include "datagen/csv.h"
+#include "exec/engine_registry.h"
+#include "exec/planner.h"
+#include "exec/query_executor.h"
+#include "exec/thread_pool.h"
 
 namespace nomsky {
 namespace {
@@ -109,9 +119,10 @@ void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
 }
 
 int Run(int argc, char** argv) {
-  std::string csv_path, schema_spec, template_text;
+  std::string csv_path, schema_spec, template_text, batch_path;
   std::string engine_name = "asfs";
-  size_t topk = 10, limit = 20;
+  size_t topk = 10, limit = 20, threads = 1;
+  bool explain = false;
   std::vector<std::string> query_texts;
 
   for (int i = 1; i < argc; ++i) {
@@ -131,14 +142,34 @@ int Run(int argc, char** argv) {
       template_text = need_value("--template");
     } else if (arg == "--engine") {
       engine_name = need_value("--engine");
+    } else if (arg == "--threads") {
+      long value = std::atol(need_value("--threads"));
+      if (value < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        return 2;
+      }
+      threads = static_cast<size_t>(value);
+    } else if (arg == "--batch") {
+      batch_path = need_value("--batch");
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--list-engines") {
+      EngineRegistry& registry = EngineRegistry::Global();
+      for (const std::string& name : registry.Names()) {
+        std::printf("%-8s %s\n", name.c_str(),
+                    registry.Description(name).c_str());
+      }
+      return 0;
     } else if (arg == "--topk") {
       topk = static_cast<size_t>(std::atol(need_value("--topk")));
     } else if (arg == "--limit") {
       limit = static_cast<size_t>(std::atol(need_value("--limit")));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nomsky_cli --csv FILE --schema SPEC "
-                  "[--template PREFS] [--engine ipo|asfs|sfsd|hybrid] "
-                  "[--topk K] [--limit N] [QUERY ...]\n");
+                  "[--template PREFS] [--engine NAME|auto] [--threads N] "
+                  "[--batch FILE] [--explain] [--topk K] [--limit N] "
+                  "[QUERY ...]\n"
+                  "       nomsky_cli --list-engines\n");
       return 0;
     } else {
       query_texts.push_back(arg);
@@ -148,6 +179,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--csv and --schema are required (see --help)\n");
     return 2;
   }
+  if (threads == 0) threads = ThreadPool::DefaultThreads();
 
   auto schema = ParseSchemaSpec(schema_spec);
   if (!schema.ok()) {
@@ -170,54 +202,116 @@ int Run(int argc, char** argv) {
     tmpl = *parsed;
   }
 
+  // One shared pool powers both the batch fan-out and the engines'
+  // internal parallel paths (IPO-tree build, SFS-D partition-merge).
+  ThreadPool pool(threads);
+  EngineOptions engine_options;
+  engine_options.topk = topk;
+  engine_options.build_threads = 0;  // construction always uses all cores
+  engine_options.query_shards = threads;
+  engine_options.pool = &pool;
+
   WallTimer build;
-  std::unique_ptr<SkylineEngine> engine;
-  std::unique_ptr<AdaptiveSfsEngine> asfs;  // also powers "asfs"
-  if (engine_name == "ipo") {
-    IpoTreeEngine::Options opts;
-    opts.use_bitmaps = true;
-    opts.num_threads = 0;
-    engine = std::make_unique<IpoTreeEngine>(*data, tmpl, opts);
-  } else if (engine_name == "asfs") {
-    asfs = std::make_unique<AdaptiveSfsEngine>(*data, tmpl);
-  } else if (engine_name == "sfsd") {
-    engine = std::make_unique<SfsDirectEngine>(*data, tmpl);
-  } else if (engine_name == "hybrid") {
-    engine = std::make_unique<HybridEngine>(*data, tmpl, topk);
-  } else {
-    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+  auto created = EngineRegistry::Global().Create(engine_name, *data, tmpl,
+                                                 engine_options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
     return 2;
   }
+  std::unique_ptr<SkylineEngine> engine = std::move(created).ValueOrDie();
+  const auto* auto_engine = dynamic_cast<const AutoEngine*>(engine.get());
   std::fprintf(stderr, "loaded %zu rows; %s ready in %.2f s\n",
                data->num_rows(), engine_name.c_str(),
                build.ElapsedSeconds());
 
-  auto answer = [&](const std::string& text) {
-    auto query = ParsePrefsText(*schema, text);
+  auto print_plan = [](const PlanDecision& decision) {
+    std::fprintf(stderr, "plan: %s (%s)\n", decision.engine.c_str(),
+                 decision.reason.c_str());
+  };
+  auto print_auto_stats = [&] {
+    if (auto_engine == nullptr) return;
+    AutoEngine::DispatchCounts counts = auto_engine->dispatch_counts();
+    std::fprintf(stderr,
+                 "auto dispatch: hybrid=%zu asfs=%zu sfsd=%zu\n",
+                 counts.hybrid, counts.asfs, counts.sfsd);
+  };
+
+  if (!batch_path.empty()) {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::fprintf(stderr, "--batch: cannot open %s\n", batch_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!Trim(line).empty()) query_texts.push_back(line);
+    }
+  }
+
+  if (!query_texts.empty()) {
+    // Parse everything up front, then fan the batch out across the pool.
+    std::vector<PreferenceProfile> queries;
+    queries.reserve(query_texts.size());
+    for (const std::string& text : query_texts) {
+      auto query = ParsePrefsText(*schema, text);
+      if (!query.ok()) {
+        std::fprintf(stderr, "query '%s': %s\n", text.c_str(),
+                     query.status().ToString().c_str());
+        return 2;
+      }
+      queries.push_back(std::move(query).ValueOrDie());
+    }
+    QueryExecutor executor(*engine, &pool);
+    BatchResult batch = executor.RunBatch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::fprintf(stderr, "# %s\n", query_texts[i].c_str());
+      // The batch already ran; re-deriving the (deterministic) verdict is
+      // the only way to attach it per query after the fact.
+      if (explain && auto_engine != nullptr) {
+        print_plan(auto_engine->planner().Choose(queries[i]));
+      }
+      if (!batch.statuses[i].ok()) {
+        std::fprintf(stderr, "query: %s\n",
+                     batch.statuses[i].ToString().c_str());
+        continue;
+      }
+      std::fprintf(stderr, "%zu skyline rows\n", batch.rows[i].size());
+      PrintRows(*data, batch.rows[i], limit);
+    }
+    std::fprintf(stderr,
+                 "batch: %zu queries, %zu failed, %.2f ms total, "
+                 "%.0f queries/s on %zu threads\n",
+                 queries.size(), batch.failures, 1e3 * batch.seconds,
+                 batch.QueriesPerSecond(), pool.num_threads());
+    print_auto_stats();
+    return batch.failures == 0 ? 0 : 1;
+  }
+
+  // Interactive: answer stdin line by line.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    auto query = ParsePrefsText(*schema, line);
     if (!query.ok()) {
       std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
-      return;
+      continue;
     }
     WallTimer timer;
+    PlanDecision decision;
+    const bool explained = explain && auto_engine != nullptr;
     Result<std::vector<RowId>> rows =
-        asfs != nullptr ? asfs->Query(*query) : engine->Query(*query);
+        explained ? auto_engine->QueryExplained(*query, &decision)
+                  : engine->Query(*query);
+    if (explained) print_plan(decision);
     if (!rows.ok()) {
       std::fprintf(stderr, "query: %s\n", rows.status().ToString().c_str());
-      return;
+      continue;
     }
     std::fprintf(stderr, "%zu skyline rows in %.2f ms\n", rows->size(),
                  timer.ElapsedMillis());
     PrintRows(*data, *rows, limit);
-  };
-
-  if (!query_texts.empty()) {
-    for (const std::string& q : query_texts) answer(q);
-  } else {
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (!Trim(line).empty()) answer(line);
-    }
   }
+  print_auto_stats();
   return 0;
 }
 
