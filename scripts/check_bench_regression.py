@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh BENCH_*.json vs the committed baseline.
+
+Compares every harness-format bench JSON in --fresh against the file of the
+same name in --baseline and fails (exit 1) when any recorded mean slowed
+down by more than --tolerance (default 25%). Entries are matched by
+(figure index, point label, engine name, threads); a mean is gated only
+when
+
+  * the same entry exists on both sides (new points/engines pass freely —
+    they have no baseline yet),
+  * both figures were recorded at the same NOMSKY_SCALE (a scale change
+    re-baselines by definition), and
+  * the baseline mean is at least --min-seconds (default 1 ms): below
+    that, timer noise on shared CI runners dwarfs any real regression, and
+  * the absolute slowdown is at least --min-delta-seconds (default 5 ms):
+    millisecond-scale means jitter far beyond 25% between identical runs,
+    so a relative budget alone would flake — a real regression at smoke
+    scale is both relatively AND absolutely slower.
+
+Only the in-tree harness schema (a top-level JSON array of figures, see
+bench/harness.cc) is checked; other JSON files (e.g. google-benchmark's
+BENCH_micro.json) are skipped with a note.
+
+Usage:
+  scripts/check_bench_regression.py --baseline bench_results --fresh out \
+      [--tolerance 0.25] [--min-seconds 0.001]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_MEANS = ("avg_query_s", "preprocess_s")
+
+
+def load_harness_figures(path):
+    """Returns the figure list, or None when not harness-format."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"note: skipping {path}: {err}")
+        return None
+    if not isinstance(doc, list):
+        return None
+    for figure in doc:
+        if not isinstance(figure, dict) or "points" not in figure:
+            return None
+    return doc
+
+
+def index_means(figures):
+    """{(figure_idx, label, engine, threads, metric): (mean, scale)}"""
+    means = {}
+    for fi, figure in enumerate(figures):
+        scale = figure.get("scale", 1.0)
+        for point in figure.get("points", []):
+            label = point.get("label", "")
+            for engine in point.get("engines", []):
+                name = engine.get("name", "")
+                threads = engine.get("threads", 1)
+                for metric in GATED_MEANS:
+                    if metric in engine:
+                        key = (fi, label, name, threads, metric)
+                        means[key] = (float(engine[metric]), scale)
+    return means
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="directory with the committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="directory with freshly recorded BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="baseline means below this are noise; skip")
+    parser.add_argument("--min-delta-seconds", type=float, default=5e-3,
+                        help="absolute slowdown below this is noise; pass")
+    args = parser.parse_args()
+
+    fresh_files = sorted(args.fresh.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json under {args.fresh}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for fresh_path in fresh_files:
+        base_path = args.baseline / fresh_path.name
+        if not base_path.exists():
+            print(f"note: {fresh_path.name} has no committed baseline; "
+                  "skipping (commit one to gate it)")
+            continue
+        fresh_figs = load_harness_figures(fresh_path)
+        base_figs = load_harness_figures(base_path)
+        if fresh_figs is None or base_figs is None:
+            print(f"note: {fresh_path.name} is not harness-format; skipping")
+            continue
+
+        base_means = index_means(base_figs)
+        for key, (fresh_mean, fresh_scale) in \
+                sorted(index_means(fresh_figs).items()):
+            if key not in base_means:
+                continue
+            base_mean, base_scale = base_means[key]
+            if base_scale != fresh_scale:
+                continue  # different workload size; not comparable
+            if base_mean < args.min_seconds:
+                continue
+            compared += 1
+            slowdown = (fresh_mean - base_mean) / base_mean
+            if (slowdown > args.tolerance
+                    and fresh_mean - base_mean > args.min_delta_seconds):
+                fi, label, engine, threads, metric = key
+                regressions.append(
+                    f"{fresh_path.name} figure {fi} [{label}] {engine} "
+                    f"x{threads} {metric}: {base_mean:.6f}s -> "
+                    f"{fresh_mean:.6f}s (+{100 * slowdown:.1f}%)")
+
+    print(f"bench regression gate: {compared} means compared, "
+          f"{len(regressions)} over the {100 * args.tolerance:.0f}% budget")
+    if regressions:
+        print("\nregressions:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,53 @@ Status Dataset::Append(const RowValues& row) {
   return Status::OK();
 }
 
+Status Dataset::AppendRowsFrom(const Dataset& source,
+                               const std::vector<RowId>& rows) {
+  if (source.numeric_cols_.size() != numeric_cols_.size() ||
+      source.nominal_cols_.size() != nominal_cols_.size()) {
+    return Status::InvalidArgument(
+        "column layout mismatch: source has ", source.numeric_cols_.size(),
+        " numeric / ", source.nominal_cols_.size(), " nominal, this dataset ",
+        numeric_cols_.size(), " / ", nominal_cols_.size());
+  }
+  // Equal column counts are not enough: a source dictionary larger than
+  // ours could plant ValueIds the destination schema says cannot exist.
+  for (size_t j = 0; j < nominal_cols_.size(); ++j) {
+    DimId src_dim = source.schema_.nominal_dims()[j];
+    DimId dst_dim = schema_.nominal_dims()[j];
+    if (source.schema_.dim(src_dim).cardinality() >
+        schema_.dim(dst_dim).cardinality()) {
+      return Status::InvalidArgument(
+          "nominal dimension '", schema_.dim(dst_dim).name(),
+          "' cannot hold source values: source cardinality ",
+          source.schema_.dim(src_dim).cardinality(), " exceeds ",
+          schema_.dim(dst_dim).cardinality());
+    }
+  }
+  for (RowId r : rows) {
+    if (r >= source.num_rows_) {
+      return Status::OutOfRange("row id ", r, " out of range (source has ",
+                                source.num_rows_, " rows)");
+    }
+  }
+  // Values come from columns of the same typed layout, so they are already
+  // schema-valid: copy column-to-column without per-row RowValues churn.
+  for (size_t i = 0; i < numeric_cols_.size(); ++i) {
+    std::vector<double>& dst = numeric_cols_[i];
+    const std::vector<double>& src = source.numeric_cols_[i];
+    dst.reserve(dst.size() + rows.size());
+    for (RowId r : rows) dst.push_back(src[r]);
+  }
+  for (size_t j = 0; j < nominal_cols_.size(); ++j) {
+    std::vector<ValueId>& dst = nominal_cols_[j];
+    const std::vector<ValueId>& src = source.nominal_cols_[j];
+    dst.reserve(dst.size() + rows.size());
+    for (RowId r : rows) dst.push_back(src[r]);
+  }
+  num_rows_ += rows.size();
+  return Status::OK();
+}
+
 void Dataset::Reserve(size_t n) {
   for (auto& c : numeric_cols_) c.reserve(n);
   for (auto& c : nominal_cols_) c.reserve(n);

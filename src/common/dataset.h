@@ -39,6 +39,12 @@ class Dataset {
   /// \brief Appends a row. The row must match the schema's typed layout.
   Status Append(const RowValues& row);
 
+  /// \brief Bulk-appends `rows` of `source` (which must have the same
+  /// typed column layout) by direct column-to-column copy — no per-row
+  /// materialization or re-validation, the fast path for partitioning and
+  /// compaction. Row ids must be in range.
+  Status AppendRowsFrom(const Dataset& source, const std::vector<RowId>& rows);
+
   /// \brief Reserves storage for `n` rows.
   void Reserve(size_t n);
 

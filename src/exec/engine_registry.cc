@@ -6,6 +6,7 @@
 #include "core/hybrid.h"
 #include "core/ipo_tree.h"
 #include "exec/planner.h"
+#include "exec/sharded_engine.h"
 
 namespace nomsky {
 
@@ -72,6 +73,19 @@ void RegisterBuiltins(EngineRegistry* registry) {
             TreeOptionsFrom(options, /*truncate=*/true)));
       }));
   must(registry->Register(
+      "sharded",
+      "partitioned dataset, one engine per shard + skyline merge; "
+      "sharded:<inner> picks the per-shard engine (default sfsd), "
+      "--shards=K the shard count",
+      [](const Dataset& data, const PreferenceProfile& tmpl,
+         const EngineOptions& options)
+          -> Result<std::unique_ptr<SkylineEngine>> {
+        NOMSKY_ASSIGN_OR_RETURN(
+            std::unique_ptr<ShardedEngine> engine,
+            ShardedEngine::Create("sfsd", data, tmpl, options));
+        return std::unique_ptr<SkylineEngine>(std::move(engine));
+      }));
+  must(registry->Register(
       "auto",
       "per-query planner: routes to hybrid / asfs / parallel sfsd using "
       "cardinality estimates and query-history popularity",
@@ -110,6 +124,18 @@ Status EngineRegistry::Register(const std::string& name,
 Result<std::unique_ptr<SkylineEngine>> EngineRegistry::Create(
     const std::string& name, const Dataset& data,
     const PreferenceProfile& tmpl, const EngineOptions& options) const {
+  // "sharded:<inner>" composes the fan-out/merge engine over any
+  // registered inner engine — resolved here instead of registering every
+  // combination. ShardedEngine::Create validates the inner name (and
+  // rejects nesting).
+  constexpr const char kShardedPrefix[] = "sharded:";
+  if (name.rfind(kShardedPrefix, 0) == 0) {
+    NOMSKY_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedEngine> engine,
+        ShardedEngine::Create(name.substr(sizeof(kShardedPrefix) - 1), data,
+                              tmpl, options));
+    return std::unique_ptr<SkylineEngine>(std::move(engine));
+  }
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -117,7 +143,8 @@ Result<std::unique_ptr<SkylineEngine>> EngineRegistry::Create(
     if (it == entries_.end()) {
       return Status::InvalidArgument("unknown engine '", name,
                                      "'; valid engines: ",
-                                     JoinedNamesLocked());
+                                     JoinedNamesLocked(),
+                                     ", or sharded:<inner>");
     }
     factory = it->second.factory;
   }

@@ -10,6 +10,13 @@
 //   ipo     IPO-Tree semi-materialization (Section 3)
 //   hybrid  IPO-Tree-k + Adaptive SFS fallback (Section 5.3)
 //   auto    per-query planner routing among the above (exec/planner.h)
+//   sharded per-shard engines + skyline merge (exec/sharded_engine.h)
+//
+// Sharded engines compose by name: "sharded:<inner>" partitions the
+// dataset into EngineOptions::data_shards shards and builds one <inner>
+// engine per shard ("sharded" alone defaults the inner engine to sfsd).
+// The composition is resolved by Create, so it works with any registered
+// inner engine without a combinatorial registry.
 
 #ifndef NOMSKY_EXEC_ENGINE_REGISTRY_H_
 #define NOMSKY_EXEC_ENGINE_REGISTRY_H_
@@ -25,10 +32,16 @@
 #include "core/engine.h"
 #include "core/ipo_tree.h"
 #include "core/query_history.h"
+#include "exec/sharded_dataset.h"
 
 namespace nomsky {
 
 class ThreadPool;
+
+/// \brief Default row threshold for the auto planner's sharded route —
+/// ONE constant shared by EngineOptions and QueryPlanner::Options so the
+/// two surfaces cannot silently diverge.
+inline constexpr size_t kDefaultShardedMinRows = 50'000;
 
 /// \brief Construction knobs shared by every engine factory. Factories use
 /// the fields that apply to them and ignore the rest.
@@ -41,6 +54,14 @@ struct EngineOptions {
   size_t build_threads = 1;
   /// Partition-merge shards for SFS-D queries (1 = sequential).
   size_t query_shards = 1;
+  /// Dataset shards for the sharded:<inner> path (0 = the ShardedDataset
+  /// default). Also arms AutoEngine's sharded route when > 1.
+  size_t data_shards = 0;
+  /// Row-placement policy of the sharded path.
+  ShardPolicy shard_policy = ShardPolicy::kHash;
+  /// Rows below which AutoEngine never routes to the sharded path even
+  /// when data_shards > 1 (fan-out + merge overhead dominates small data).
+  size_t sharded_min_rows = kDefaultShardedMinRows;
   /// Pool for parallel query paths; shared, never owned. May be null.
   ThreadPool* pool = nullptr;
   /// Observed workload, if any: "auto" plans with it and hybrid/ipo
@@ -70,8 +91,10 @@ class EngineRegistry {
   Status Register(const std::string& name, const std::string& description,
                   Factory factory);
 
-  /// \brief Builds the named engine. Unknown names fail with an
-  /// InvalidArgument status that lists every registered name.
+  /// \brief Builds the named engine. "sharded:<inner>" composes the
+  /// sharded fan-out/merge engine over any registered inner name. Unknown
+  /// names fail with an InvalidArgument status that lists every registered
+  /// name.
   Result<std::unique_ptr<SkylineEngine>> Create(
       const std::string& name, const Dataset& data,
       const PreferenceProfile& tmpl,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "exec/sharded_engine.h"
 #include "skyline/estimator.h"
 
 namespace nomsky {
@@ -89,6 +90,17 @@ PlanDecision QueryPlanner::Choose(const PreferenceProfile& query) const {
           ? 0.0
           : est / static_cast<double>(data_->num_rows());
   if (fraction > options_.scan_bound_fraction) {
+    // Scan-bound work parallelizes; over enough rows the per-shard
+    // engines + skyline merge beat even the partitioned single-table scan.
+    if (options_.data_shards > 1 &&
+        data_->num_rows() >= options_.sharded_min_rows) {
+      return PlanDecision{
+          "sharded",
+          "estimated skyline is " + FormatFraction(fraction) + " of " +
+              std::to_string(data_->num_rows()) +
+              " rows (scan-bound, large); fanning out to " +
+              std::to_string(options_.data_shards) + " shards"};
+    }
     return PlanDecision{
         "sfsd", "estimated skyline is " + FormatFraction(fraction) +
                     " of the data (scan-bound); partitioned SFS-D wins"};
@@ -103,6 +115,8 @@ QueryPlanner::Options AutoEngine::PlannerOptions(
     const EngineOptions& options) {
   QueryPlanner::Options popts;
   popts.popular_topk = options.topk;
+  popts.data_shards = options.data_shards;
+  popts.sharded_min_rows = options.sharded_min_rows;
   popts.history = options.history;
   return popts;
 }
@@ -113,7 +127,15 @@ AutoEngine::AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
               TreeOptionsFrom(options, /*truncate=*/true)),
       sfsd_(data, tmpl, options.pool,
             options.query_shards == 0 ? 1 : options.query_shards),
-      planner_(data, tmpl, PlannerOptions(options)) {}
+      planner_(data, tmpl, PlannerOptions(options)) {
+  if (options.data_shards > 1) {
+    // The planner only emits "sharded" under the same condition, so a
+    // failure here (bad shard count is the only way) must not be silent.
+    auto sharded = ShardedEngine::Create("sfsd", data, tmpl, options);
+    NOMSKY_CHECK(sharded.ok()) << sharded.status().ToString();
+    sharded_ = std::move(sharded).ValueOrDie();
+  }
+}
 
 Result<std::vector<RowId>> AutoEngine::Query(
     const PreferenceProfile& query) const {
@@ -131,6 +153,10 @@ Result<std::vector<RowId>> AutoEngine::QueryExplained(
   if (plan.engine == "asfs") {
     asfs_hits_.fetch_add(1, std::memory_order_relaxed);
     return hybrid_.adaptive_sfs().Query(query);
+  }
+  if (plan.engine == "sharded" && sharded_ != nullptr) {
+    sharded_hits_.fetch_add(1, std::memory_order_relaxed);
+    return sharded_->Query(query);
   }
   sfsd_hits_.fetch_add(1, std::memory_order_relaxed);
   return sfsd_.Query(query);

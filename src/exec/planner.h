@@ -25,6 +25,7 @@
 #define NOMSKY_EXEC_PLANNER_H_
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,8 @@ namespace nomsky {
 
 /// \brief One routing verdict: which registry engine, and why.
 struct PlanDecision {
-  std::string engine;  ///< registry name: "hybrid", "asfs" or "sfsd"
+  std::string engine;  ///< registry name: "hybrid", "asfs", "sfsd" or
+                       ///< "sharded"
   std::string reason;  ///< human-readable explanation (--explain output)
 };
 
@@ -49,6 +51,14 @@ class QueryPlanner {
     /// Estimated |SKY(R̃')| / |D| above which the query counts as
     /// scan-bound and is routed to the parallel SFS-D baseline.
     double scan_bound_fraction = 0.25;
+    /// When > 1 a sharded engine is available: scan-bound queries over at
+    /// least `sharded_min_rows` rows route to it instead of "sfsd" (the
+    /// per-shard engines answer in parallel and the merge touches only
+    /// the per-shard skylines).
+    size_t data_shards = 0;
+    /// Rows below which the sharded route is never taken (fan-out + merge
+    /// overhead dominates small data).
+    size_t sharded_min_rows = kDefaultShardedMinRows;
     /// Observed workload; when it has recorded queries, its popular values
     /// replace the data-frequency top-k as the coverage lists.
     const QueryHistory* history = nullptr;
@@ -75,7 +85,10 @@ class QueryPlanner {
 /// \brief Planner-routed engine: builds one Hybrid (IPO-Tree-k with an
 /// Adaptive SFS fallback — the ASFS instance inside doubles as the "asfs"
 /// route) plus the parallel SFS-D baseline, and dispatches each query per
-/// QueryPlanner::Choose. Query is const-thread-safe like every engine.
+/// QueryPlanner::Choose. When EngineOptions::data_shards > 1 it also
+/// builds the sharded fan-out/merge engine (sharded:sfsd) and scan-bound
+/// queries over large data route there. Query is const-thread-safe like
+/// every engine.
 class AutoEngine : public SkylineEngine {
  public:
   AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
@@ -90,7 +103,10 @@ class AutoEngine : public SkylineEngine {
   Result<std::vector<RowId>> QueryExplained(const PreferenceProfile& query,
                                             PlanDecision* decision) const;
 
-  size_t MemoryUsage() const override { return hybrid_.MemoryUsage(); }
+  size_t MemoryUsage() const override {
+    return hybrid_.MemoryUsage() +
+           (sharded_ != nullptr ? sharded_->MemoryUsage() : 0);
+  }
   double preprocessing_seconds() const override {
     return hybrid_.preprocessing_seconds();
   }
@@ -102,22 +118,29 @@ class AutoEngine : public SkylineEngine {
     size_t hybrid = 0;
     size_t asfs = 0;
     size_t sfsd = 0;
+    size_t sharded = 0;
   };
   DispatchCounts dispatch_counts() const {
     return DispatchCounts{hybrid_hits_.load(std::memory_order_relaxed),
                           asfs_hits_.load(std::memory_order_relaxed),
-                          sfsd_hits_.load(std::memory_order_relaxed)};
+                          sfsd_hits_.load(std::memory_order_relaxed),
+                          sharded_hits_.load(std::memory_order_relaxed)};
   }
+
+  /// \brief The sharded route's engine, or null when data_shards <= 1.
+  const SkylineEngine* sharded_engine() const { return sharded_.get(); }
 
  private:
   static QueryPlanner::Options PlannerOptions(const EngineOptions& options);
 
   HybridEngine hybrid_;
   SfsDirectEngine sfsd_;
+  std::unique_ptr<SkylineEngine> sharded_;  // built iff data_shards > 1
   QueryPlanner planner_;
   mutable std::atomic<size_t> hybrid_hits_{0};
   mutable std::atomic<size_t> asfs_hits_{0};
   mutable std::atomic<size_t> sfsd_hits_{0};
+  mutable std::atomic<size_t> sharded_hits_{0};
 };
 
 }  // namespace nomsky

@@ -1,0 +1,108 @@
+// ShardedDataset: one Dataset partitioned into K disjoint shard Datasets.
+//
+// This is the data half of the sharded execution path (exec/
+// sharded_engine.h is the query half): the exec layer of PR 2 parallelized
+// QUERIES over one shared in-memory Dataset, but index builds were still
+// serial over the full table and the data was capped at one node's memory.
+// Partitioning the rows themselves lets each shard build its own engine
+// index in parallel, and keeps every per-shard structure sized to 1/K of
+// the data — the layout a multi-node deployment would distribute, exercised
+// here inside one process.
+//
+// Each shard is a self-contained Dataset over the SAME schema plus a
+// shard-local → global RowId map, so per-shard engine results can be
+// translated back and merged against the source table. Two placement
+// policies:
+//   kHash   mixed row-id hash (splitmix64) — uniform spread regardless of
+//           input order; the default.
+//   kRange  contiguous balanced blocks — preserves input locality, the
+//           natural policy for range-partitioned ingest.
+// Both are deterministic functions of (num_rows, num_shards), so shard
+// contents are reproducible across runs and processes.
+
+#ifndef NOMSKY_EXEC_SHARDED_DATASET_H_
+#define NOMSKY_EXEC_SHARDED_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+
+namespace nomsky {
+
+class ThreadPool;
+
+/// \brief Row-placement policy of a ShardedDataset.
+enum class ShardPolicy {
+  kHash,   ///< splitmix64(row) % K — uniform, order-independent
+  kRange,  ///< contiguous balanced blocks of the input order
+};
+
+const char* ShardPolicyName(ShardPolicy policy);
+
+/// \brief A dataset partitioned into disjoint shards covering every row.
+class ShardedDataset {
+ public:
+  struct Options {
+    size_t num_shards = 4;
+    ShardPolicy policy = ShardPolicy::kHash;
+    /// Shard column stores are filled in parallel on this pool (shared,
+    /// never owned, may be null: sequential).
+    ThreadPool* pool = nullptr;
+  };
+
+  /// \brief Partitions `source` (which must outlive the result — the merge
+  /// step of sharded queries reads it). Fails on num_shards == 0. Shards
+  /// may be empty when num_shards exceeds the row count.
+  static Result<ShardedDataset> Partition(const Dataset& source,
+                                          const Options& options);
+
+  size_t num_shards() const { return shards_.size(); }
+  ShardPolicy policy() const { return policy_; }
+  const Dataset& source() const { return *source_; }
+
+  /// \brief The s-th shard's rows as a standalone Dataset (same schema).
+  const Dataset& shard(size_t s) const { return shards_[s].data; }
+
+  /// \brief Global RowIds of the s-th shard, in shard-local row order.
+  const std::vector<RowId>& shard_rows(size_t s) const {
+    return shards_[s].global_rows;
+  }
+
+  /// \brief Translates a shard-local row id back to the source table.
+  RowId ToGlobal(size_t s, RowId local) const {
+    return shards_[s].global_rows[local];
+  }
+
+  /// \brief Wall seconds the Partition call spent.
+  double partition_seconds() const { return partition_seconds_; }
+
+  /// \brief Shard column storage + row-id maps (the source is not counted;
+  /// it is borrowed, not owned).
+  size_t MemoryUsage() const;
+
+  /// \brief e.g. "hash x4 (12500 rows, max shard 3131)" for logs/benches.
+  std::string ToString() const;
+
+ private:
+  struct Shard {
+    Dataset data;
+    std::vector<RowId> global_rows;
+
+    explicit Shard(Schema schema) : data(std::move(schema)) {}
+  };
+
+  ShardedDataset(const Dataset& source, ShardPolicy policy)
+      : source_(&source), policy_(policy) {}
+
+  const Dataset* source_;
+  ShardPolicy policy_;
+  double partition_seconds_ = 0.0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_SHARDED_DATASET_H_

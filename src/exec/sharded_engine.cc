@@ -1,0 +1,120 @@
+#include "exec/sharded_engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "exec/thread_pool.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+
+ShardedEngine::ShardedEngine(ShardedDataset sharded,
+                             const PreferenceProfile& tmpl,
+                             std::string inner_name)
+    : sharded_(std::move(sharded)),
+      template_(&tmpl),
+      inner_name_(std::move(inner_name)),
+      name_("Sharded(" + inner_name_ + " x" +
+            std::to_string(sharded_.num_shards()) + ")") {}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const std::string& inner_name, const Dataset& data,
+    const PreferenceProfile& tmpl, const EngineOptions& options) {
+  if (inner_name.rfind("sharded", 0) == 0) {
+    return Status::InvalidArgument(
+        "sharded engines cannot nest; inner engine '", inner_name,
+        "' must be a plain registered engine");
+  }
+  if (!EngineRegistry::Global().Contains(inner_name)) {
+    return Status::InvalidArgument(
+        "unknown inner engine '", inner_name, "' for sharded:<inner>");
+  }
+
+  WallTimer timer;
+  ShardedDataset::Options shard_options;
+  if (options.data_shards > 0) shard_options.num_shards = options.data_shards;
+  shard_options.policy = options.shard_policy;
+  shard_options.pool = options.pool;
+  NOMSKY_ASSIGN_OR_RETURN(ShardedDataset sharded,
+                          ShardedDataset::Partition(data, shard_options));
+
+  auto engine = std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(std::move(sharded), tmpl, inner_name));
+  engine->pool_ = options.pool;
+
+  // Inner engines must not re-shard their shard, and they share the pool
+  // for their own internal parallel paths (nesting-safe, see thread_pool.h).
+  EngineOptions inner_options = options;
+  inner_options.data_shards = 0;
+
+  const size_t k = engine->sharded_.num_shards();
+  engine->engines_.resize(k);
+  std::vector<Status> statuses(k);
+  ParallelFor(options.pool, k, [&](size_t s) {
+    auto built = EngineRegistry::Global().Create(
+        inner_name, engine->sharded_.shard(s), *engine->template_,
+        inner_options);
+    if (built.ok()) {
+      engine->engines_[s] = std::move(built).ValueOrDie();
+    } else {
+      statuses[s] = built.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    NOMSKY_RETURN_NOT_OK(status);
+  }
+  engine->build_seconds_ = timer.ElapsedSeconds();
+  return engine;
+}
+
+Result<std::vector<RowId>> ShardedEngine::Query(
+    const PreferenceProfile& query) const {
+  NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
+                          query.CombineWithTemplate(*template_));
+
+  // Fan-out: every shard engine answers the same query independently;
+  // shard-local row ids are translated back to the source table.
+  const size_t k = engines_.size();
+  std::vector<std::vector<RowId>> locals(k);
+  std::vector<Status> statuses(k);
+  ParallelFor(pool_, k, [&](size_t s) {
+    Result<std::vector<RowId>> rows = engines_[s]->Query(query);
+    if (!rows.ok()) {
+      statuses[s] = rows.status();
+      return;
+    }
+    std::vector<RowId>& mine = locals[s];
+    mine = std::move(rows).ValueOrDie();
+    for (RowId& r : mine) r = sharded_.ToGlobal(s, r);
+  });
+  for (const Status& status : statuses) {
+    NOMSKY_RETURN_NOT_OK(status);
+  }
+
+  // Merge: the union of per-shard skylines is a lossless candidate set
+  // (see header); one extraction over the SOURCE table removes the points
+  // only another shard can dominate.
+  size_t candidates = 0;
+  for (const auto& local : locals) candidates += local.size();
+  std::vector<RowId> skyline =
+      MergeLocalSkylines(sharded_.source(), effective, locals);
+  last_merge_candidates_.store(candidates, std::memory_order_relaxed);
+  last_merge_survivors_.store(skyline.size(), std::memory_order_relaxed);
+  return skyline;
+}
+
+size_t ShardedEngine::MemoryUsage() const {
+  size_t bytes = sharded_.MemoryUsage();
+  for (const auto& engine : engines_) bytes += engine->MemoryUsage();
+  return bytes;
+}
+
+double ShardedEngine::shard_build_seconds_total() const {
+  double total = 0.0;
+  for (const auto& engine : engines_) {
+    total += engine->preprocessing_seconds();
+  }
+  return total;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,103 @@
+// ShardedEngine: per-shard engines over a ShardedDataset, answered by
+// fan-out + skyline merge.
+//
+// Construction partitions the dataset into K shards and builds one inner
+// engine per shard through the EngineRegistry — every registered engine
+// (sfsd/asfs/ipo/hybrid) works unchanged as the inner strategy because a
+// shard is just a smaller Dataset. Shard index builds run concurrently on
+// the ThreadPool, so preprocessing wall time approaches 1/K of the serial
+// build on enough cores (bench/bench_sharded.cc records the sweep).
+//
+// A query fans out to every shard engine, translates the shard-local row
+// ids back to the source table, and merges the per-shard skylines with
+// MergeLocalSkylines (skyline/sfs.h) — the same partition-then-merge step
+// ParallelSfsSkyline proves correct for candidate slices, generalized to
+// arbitrary per-shard engine results: each shard's answer is the exact
+// skyline of its subset, the subsets cover the table, so the union is a
+// lossless candidate set and one extraction pass removes the points only
+// another shard can dominate.
+//
+// Query is const-thread-safe like every engine (core/engine.h): the shard
+// engines are read-only after construction, per-query scratch is local,
+// and the stats counters are atomics — so a ShardedEngine can itself be
+// shared by the batched QueryExecutor.
+
+#ifndef NOMSKY_EXEC_SHARDED_ENGINE_H_
+#define NOMSKY_EXEC_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/engine_registry.h"
+#include "exec/sharded_dataset.h"
+
+namespace nomsky {
+
+/// \brief Fan-out/merge engine over per-shard inner engines.
+class ShardedEngine : public SkylineEngine {
+ public:
+  /// \brief Partitions `data` into `options.data_shards` shards (0 picks
+  /// the default of ShardedDataset::Options) and builds one `inner_name`
+  /// engine per shard in parallel on `options.pool`. The inner name must be
+  /// a registered non-sharded engine. `data` and `tmpl` must outlive the
+  /// engine, as for every engine.
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      const std::string& inner_name, const Dataset& data,
+      const PreferenceProfile& tmpl, const EngineOptions& options);
+
+  const char* name() const override { return name_.c_str(); }
+
+  Result<std::vector<RowId>> Query(
+      const PreferenceProfile& query) const override;
+
+  /// \brief Shard storage + every inner engine's materialized structures.
+  size_t MemoryUsage() const override;
+
+  /// \brief Wall seconds of partition + parallel shard-engine builds (NOT
+  /// the sum of per-shard build times — that is what the parallelism
+  /// saves; bench_sharded reports both).
+  double preprocessing_seconds() const override { return build_seconds_; }
+
+  const ShardedDataset& sharded_data() const { return sharded_; }
+  const std::string& inner_name() const { return inner_name_; }
+  size_t num_shards() const { return engines_.size(); }
+  const SkylineEngine& shard_engine(size_t s) const { return *engines_[s]; }
+
+  /// \brief Sum of the per-shard builds' preprocessing seconds — the
+  /// serial-equivalent cost the parallel build is compared against.
+  double shard_build_seconds_total() const;
+
+  /// \brief Merge-overhead observability: candidates entering / surviving
+  /// the most recent merge pass (union of per-shard skylines vs final
+  /// skyline). The two counters are published independently per query, so
+  /// under CONCURRENT queries a reader can see values from different
+  /// queries paired together — read them only while no batch is in flight
+  /// (they are diagnostics, not an invariant-bearing pair).
+  size_t last_merge_candidates() const {
+    return last_merge_candidates_.load(std::memory_order_relaxed);
+  }
+  size_t last_merge_survivors() const {
+    return last_merge_survivors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ShardedEngine(ShardedDataset sharded, const PreferenceProfile& tmpl,
+                std::string inner_name);
+
+  ShardedDataset sharded_;  // declared before engines_: they point into it
+  const PreferenceProfile* template_;
+  ThreadPool* pool_ = nullptr;  // query fan-out; shared, never owned
+  std::string inner_name_;
+  std::string name_;
+  double build_seconds_ = 0.0;
+  std::vector<std::unique_ptr<SkylineEngine>> engines_;
+  mutable std::atomic<size_t> last_merge_candidates_{0};
+  mutable std::atomic<size_t> last_merge_survivors_{0};
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_SHARDED_ENGINE_H_

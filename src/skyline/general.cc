@@ -110,6 +110,19 @@ std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
   return ExtractSkyline(cmp, SortedByScore(score, candidates));
 }
 
+std::vector<RowId> MergeGeneralLocalSkylines(
+    const Dataset& data, const std::vector<PartialOrder>& orders,
+    const std::vector<std::vector<RowId>>& locals) {
+  std::vector<RowId> merged;
+  size_t total = 0;
+  for (const auto& local : locals) total += local.size();
+  merged.reserve(total);
+  for (const auto& local : locals) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  return GeneralSfsSkyline(data, orders, merged);
+}
+
 std::vector<RowId> ParallelGeneralSfsSkyline(
     const Dataset& data, const std::vector<PartialOrder>& orders,
     const std::vector<RowId>& candidates, ThreadPool* pool, size_t shards) {

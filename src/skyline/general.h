@@ -32,6 +32,17 @@ std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
 
 class ThreadPool;
 
+/// \brief Merge step of the partition-then-merge argument under arbitrary
+/// per-dimension partial orders: `locals` are exact skylines of subsets
+/// that cover the candidate rows (any producer, any emission order); the
+/// union is re-sorted by the monotone topological score and one extraction
+/// removes cross-partition dominated points. Mirrors MergeLocalSkylines
+/// (skyline/sfs.h, which the sharded dataset layer uses for implicit-
+/// preference results) for partitioned results under the general model.
+std::vector<RowId> MergeGeneralLocalSkylines(
+    const Dataset& data, const std::vector<PartialOrder>& orders,
+    const std::vector<std::vector<RowId>>& locals);
+
 /// \brief Partition-then-merge GeneralSfsSkyline for large inputs: the
 /// candidates are sharded, each shard's local skyline is extracted on the
 /// pool, and one merge extraction over the union removes cross-shard

@@ -49,6 +49,19 @@ std::vector<RowId> SfsSkyline(const Dataset& data,
   return SfsExtract(cmp, sorted, stats);
 }
 
+std::vector<RowId> MergeLocalSkylines(
+    const Dataset& data, const PreferenceProfile& profile,
+    const std::vector<std::vector<RowId>>& locals, SfsStats* stats) {
+  std::vector<RowId> merged;
+  size_t total = 0;
+  for (const auto& local : locals) total += local.size();
+  merged.reserve(total);
+  for (const auto& local : locals) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  return SfsSkyline(data, profile, merged, stats);
+}
+
 std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
                                       const PreferenceProfile& profile,
                                       const std::vector<RowId>& candidates,

@@ -51,6 +51,22 @@ std::vector<RowId> SfsSkyline(const Dataset& data,
 
 class ThreadPool;
 
+/// \brief The merge step of the partition-then-merge proof, exposed for any
+/// layer that computes per-partition skylines: given local skylines of
+/// subsets that together cover the candidate rows, the union is re-sorted
+/// by f and one extraction pass removes cross-partition dominated points.
+/// Correct for ANY exact per-subset skylines regardless of which engine
+/// produced them or their emission order (SFS score order, ASFS progressive
+/// order, IPO-tree set order): a global skyline point is undominated
+/// globally, hence undominated within its own subset, hence present in the
+/// union — so the union is a lossless candidate set. This is the same
+/// argument ParallelSfsSkyline makes for candidate slices; here it is
+/// generalized to arbitrary partitions (the sharded dataset layer feeds it
+/// per-shard engine results). `stats` records the merge pass only.
+std::vector<RowId> MergeLocalSkylines(
+    const Dataset& data, const PreferenceProfile& profile,
+    const std::vector<std::vector<RowId>>& locals, SfsStats* stats = nullptr);
+
 /// \brief Partition-then-merge SFS: candidates are split into `shards`
 /// slices, each slice's local skyline is extracted independently (on the
 /// pool when one is given), the presorted local skylines are merged, and a

@@ -81,5 +81,46 @@ TEST(DatasetTest, ReserveDoesNotChangeRowCount) {
   EXPECT_EQ(data.num_rows(), 0u);
 }
 
+TEST(DatasetTest, AppendRowsFromCopiesSelectedRows) {
+  Dataset source(TwoByTwoSchema());
+  ASSERT_TRUE(source.Append({{1.0, 2.0}, {2, 1}}).ok());
+  ASSERT_TRUE(source.Append({{3.0, 4.0}, {0, 0}}).ok());
+  ASSERT_TRUE(source.Append({{5.0, 6.0}, {1, 1}}).ok());
+
+  Dataset dest(TwoByTwoSchema());
+  ASSERT_TRUE(dest.Append({{9.0, 9.0}, {0, 0}}).ok());
+  ASSERT_TRUE(dest.AppendRowsFrom(source, {2, 0}).ok());
+  ASSERT_EQ(dest.num_rows(), 3u);
+  // Existing row untouched; picked rows appended in the given order.
+  EXPECT_EQ(dest.GetRow(0).numeric, (std::vector<double>{9.0, 9.0}));
+  EXPECT_EQ(dest.GetRow(1).numeric, (std::vector<double>{5.0, 6.0}));
+  EXPECT_EQ(dest.GetRow(1).nominal, (std::vector<ValueId>{1, 1}));
+  EXPECT_EQ(dest.GetRow(2).numeric, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(dest.GetRow(2).nominal, (std::vector<ValueId>{2, 1}));
+
+  // Empty selection is a no-op; bad row ids and layout mismatches fail
+  // without mutating the destination.
+  ASSERT_TRUE(dest.AppendRowsFrom(source, {}).ok());
+  EXPECT_EQ(dest.num_rows(), 3u);
+  EXPECT_FALSE(dest.AppendRowsFrom(source, {3}).ok());
+  EXPECT_EQ(dest.num_rows(), 3u);
+  Schema other;
+  ASSERT_TRUE(other.AddNumeric("solo").ok());
+  Dataset mismatched(other);
+  EXPECT_FALSE(dest.AppendRowsFrom(mismatched, {}).ok());
+
+  // Same column counts but a bigger source dictionary: rejected, because
+  // its ValueIds could be invalid under the destination schema.
+  Schema wide;
+  ASSERT_TRUE(wide.AddNumeric("a").ok());
+  ASSERT_TRUE(wide.AddNominal("b", {"x", "y", "z", "w"}).ok());
+  ASSERT_TRUE(wide.AddNumeric("c").ok());
+  ASSERT_TRUE(wide.AddNominal("d", {"p", "q"}).ok());
+  Dataset wide_source(wide);
+  ASSERT_TRUE(wide_source.Append({{0.0, 0.0}, {3, 0}}).ok());
+  EXPECT_FALSE(dest.AppendRowsFrom(wide_source, {0}).ok());
+  EXPECT_EQ(dest.num_rows(), 3u);
+}
+
 }  // namespace
 }  // namespace nomsky

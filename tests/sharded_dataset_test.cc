@@ -1,0 +1,148 @@
+// ShardedDataset: partitioning must be a disjoint exact cover of the
+// source rows under both policies, deterministic, and robust at the edges
+// (more shards than rows, single-row and empty sources).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generator.h"
+#include "exec/sharded_dataset.h"
+#include "exec/thread_pool.h"
+
+namespace nomsky {
+namespace {
+
+Dataset MakeData(size_t rows, uint64_t seed = 11) {
+  gen::GenConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 5;
+  config.seed = seed;
+  return gen::Generate(config);
+}
+
+ShardedDataset MustPartition(const Dataset& data, size_t shards,
+                             ShardPolicy policy, ThreadPool* pool = nullptr) {
+  ShardedDataset::Options options;
+  options.num_shards = shards;
+  options.policy = policy;
+  options.pool = pool;
+  auto sharded = ShardedDataset::Partition(data, options);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  return std::move(sharded).ValueOrDie();
+}
+
+void ExpectExactCover(const Dataset& data, const ShardedDataset& sharded) {
+  std::set<RowId> seen;
+  size_t total = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const Dataset& shard = sharded.shard(s);
+    ASSERT_EQ(shard.num_rows(), sharded.shard_rows(s).size());
+    total += shard.num_rows();
+    for (RowId local = 0; local < shard.num_rows(); ++local) {
+      RowId global = sharded.ToGlobal(s, local);
+      ASSERT_LT(global, data.num_rows());
+      EXPECT_TRUE(seen.insert(global).second)
+          << "row " << global << " in two shards";
+      // The shard must hold a faithful copy of the source row.
+      RowValues expected = data.GetRow(global);
+      RowValues got = shard.GetRow(local);
+      EXPECT_EQ(got.numeric, expected.numeric);
+      EXPECT_EQ(got.nominal, expected.nominal);
+    }
+  }
+  EXPECT_EQ(total, data.num_rows());
+}
+
+TEST(ShardedDatasetTest, HashPartitionIsAnExactCover) {
+  Dataset data = MakeData(503);
+  ShardedDataset sharded = MustPartition(data, 4, ShardPolicy::kHash);
+  ASSERT_EQ(sharded.num_shards(), 4u);
+  ExpectExactCover(data, sharded);
+}
+
+TEST(ShardedDatasetTest, RangePartitionIsContiguousAndBalanced) {
+  Dataset data = MakeData(500);
+  ShardedDataset sharded = MustPartition(data, 4, ShardPolicy::kRange);
+  ExpectExactCover(data, sharded);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const std::vector<RowId>& rows = sharded.shard_rows(s);
+    ASSERT_FALSE(rows.empty());
+    // Contiguous ascending block.
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i], rows[i - 1] + 1);
+    }
+    // Balanced to within one row of N/K.
+    EXPECT_NEAR(static_cast<double>(rows.size()), 500.0 / 4.0, 1.0);
+  }
+}
+
+TEST(ShardedDatasetTest, HashPartitionSpreadsRows) {
+  Dataset data = MakeData(1000);
+  ShardedDataset sharded = MustPartition(data, 8, ShardPolicy::kHash);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    // A uniform hash keeps every shard within a loose factor of N/K.
+    EXPECT_GT(sharded.shard(s).num_rows(), 1000u / 8 / 2) << "shard " << s;
+    EXPECT_LT(sharded.shard(s).num_rows(), 1000u / 8 * 2) << "shard " << s;
+  }
+}
+
+TEST(ShardedDatasetTest, DeterministicAcrossCallsAndPools) {
+  Dataset data = MakeData(700, 23);
+  ThreadPool pool(4);
+  ShardedDataset serial = MustPartition(data, 8, ShardPolicy::kHash);
+  ShardedDataset parallel =
+      MustPartition(data, 8, ShardPolicy::kHash, &pool);
+  ASSERT_EQ(serial.num_shards(), parallel.num_shards());
+  for (size_t s = 0; s < serial.num_shards(); ++s) {
+    EXPECT_EQ(serial.shard_rows(s), parallel.shard_rows(s)) << "shard " << s;
+  }
+}
+
+TEST(ShardedDatasetTest, MoreShardsThanRowsLeavesEmptyShards) {
+  Dataset data = MakeData(3);
+  for (ShardPolicy policy : {ShardPolicy::kHash, ShardPolicy::kRange}) {
+    ShardedDataset sharded = MustPartition(data, 8, policy);
+    ExpectExactCover(data, sharded);
+    size_t empty = 0;
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      if (sharded.shard(s).num_rows() == 0) ++empty;
+    }
+    EXPECT_GE(empty, 5u) << ShardPolicyName(policy);
+  }
+}
+
+TEST(ShardedDatasetTest, EmptySourcePartitions) {
+  Dataset data(MakeData(3).schema());
+  ShardedDataset sharded = MustPartition(data, 4, ShardPolicy::kHash);
+  ASSERT_EQ(sharded.num_shards(), 4u);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(sharded.shard(s).num_rows(), 0u);
+  }
+}
+
+TEST(ShardedDatasetTest, ZeroShardsIsAnError) {
+  Dataset data = MakeData(10);
+  ShardedDataset::Options options;
+  options.num_shards = 0;
+  auto sharded = ShardedDataset::Partition(data, options);
+  EXPECT_FALSE(sharded.ok());
+}
+
+TEST(ShardedDatasetTest, ReportsFootprintAndDescription) {
+  Dataset data = MakeData(600);
+  ShardedDataset sharded = MustPartition(data, 4, ShardPolicy::kHash);
+  // Shard columns replicate the source storage plus the row-id maps.
+  EXPECT_GE(sharded.MemoryUsage(),
+            data.num_rows() * (2 * sizeof(double) + 2 * sizeof(ValueId)));
+  EXPECT_NE(sharded.ToString().find("hash x4"), std::string::npos)
+      << sharded.ToString();
+  EXPECT_GE(sharded.partition_seconds(), 0.0);
+  EXPECT_EQ(&sharded.source(), &data);
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -2,8 +2,8 @@
 //
 // Usage:
 //   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
-//              [--engine NAME|auto] [--threads N] [--batch FILE]
-//              [--explain] [--topk K] [--limit N] [QUERY ...]
+//              [--engine NAME|auto|sharded:NAME] [--threads N] [--shards K]
+//              [--batch FILE] [--explain] [--topk K] [--limit N] [QUERY ...]
 //   nomsky_cli --list-engines
 //
 // SPEC is a comma-separated dimension list:
@@ -19,6 +19,8 @@
 // them). Command-line / batch-file queries are executed as one batch fanned
 // out over --threads worker threads; --engine=auto routes each query
 // through the planner, and --explain prints the per-query routing verdict.
+// --shards=K partitions the dataset into K shards for the sharded engines
+// (--engine=sharded:<inner>, or the auto planner's sharded route).
 //
 // Example:
 //   nomsky_cli --csv packages.csv --schema "price:min,stars:max,group:nom{T|H|M}" "group: T<M<*"
@@ -121,7 +123,7 @@ void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
 int Run(int argc, char** argv) {
   std::string csv_path, schema_spec, template_text, batch_path;
   std::string engine_name = "asfs";
-  size_t topk = 10, limit = 20, threads = 1;
+  size_t topk = 10, limit = 20, threads = 1, shards = 0;
   bool explain = false;
   std::vector<std::string> query_texts;
 
@@ -149,6 +151,13 @@ int Run(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<size_t>(value);
+    } else if (arg == "--shards") {
+      long value = std::atol(need_value("--shards"));
+      if (value < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
+      shards = static_cast<size_t>(value);
     } else if (arg == "--batch") {
       batch_path = need_value("--batch");
     } else if (arg == "--explain") {
@@ -166,9 +175,9 @@ int Run(int argc, char** argv) {
       limit = static_cast<size_t>(std::atol(need_value("--limit")));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nomsky_cli --csv FILE --schema SPEC "
-                  "[--template PREFS] [--engine NAME|auto] [--threads N] "
-                  "[--batch FILE] [--explain] [--topk K] [--limit N] "
-                  "[QUERY ...]\n"
+                  "[--template PREFS] [--engine NAME|auto|sharded:NAME] "
+                  "[--threads N] [--shards K] [--batch FILE] [--explain] "
+                  "[--topk K] [--limit N] [QUERY ...]\n"
                   "       nomsky_cli --list-engines\n");
       return 0;
     } else {
@@ -209,6 +218,7 @@ int Run(int argc, char** argv) {
   engine_options.topk = topk;
   engine_options.build_threads = 0;  // construction always uses all cores
   engine_options.query_shards = threads;
+  engine_options.data_shards = shards;
   engine_options.pool = &pool;
 
   WallTimer build;
@@ -232,8 +242,8 @@ int Run(int argc, char** argv) {
     if (auto_engine == nullptr) return;
     AutoEngine::DispatchCounts counts = auto_engine->dispatch_counts();
     std::fprintf(stderr,
-                 "auto dispatch: hybrid=%zu asfs=%zu sfsd=%zu\n",
-                 counts.hybrid, counts.asfs, counts.sfsd);
+                 "auto dispatch: hybrid=%zu asfs=%zu sfsd=%zu sharded=%zu\n",
+                 counts.hybrid, counts.asfs, counts.sfsd, counts.sharded);
   };
 
   if (!batch_path.empty()) {
