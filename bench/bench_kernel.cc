@@ -1,0 +1,142 @@
+// Compiled dominance kernel microbench: ns/comparison of the reference
+// path (DominanceComparator::Compare, per-pair column re-indexing +
+// profile interpretation) against the compiled kernel (compile + pack
+// amortized in), measured on the hot-path access pattern the engines
+// actually run: the SFS window extraction over a score-presorted candidate
+// sequence. Both sides perform the byte-identical comparison sequence
+// (asserted), so ns/comparison is directly comparable. The kernel's
+// acceptance bar is >= 2x fewer ns/comparison on the mixed sweep
+// (ISSUE 5).
+//
+// Output lands in BENCH_kernel.json in the harness figure format so
+// scripts/check_bench_regression.py gates it like the paper figures: one
+// point per (dims, profile-order) sweep entry, engines "reference" and
+// "kernel", avg_query_s = wall seconds of one full extraction.
+//
+// NOMSKY_SCALE scales the dataset rows as usual.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "dominance/kernel.h"
+#include "harness.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+using namespace nomsky;
+
+namespace {
+
+struct SweepPoint {
+  size_t num_numeric;
+  size_t num_nominal;
+  size_t order;  // implicit-preference order of the query
+};
+
+}  // namespace
+
+int main() {
+  const uint64_t kDatasetSeed = 42;
+  const size_t rows = bench::ScaledRows(20000);
+
+  const std::vector<SweepPoint> sweep = {
+      {3, 2, 3},  // the paper's default mix
+      {2, 4, 2},  // nominal-heavy
+      {5, 1, 1},  // numeric-heavy
+  };
+
+  std::vector<bench::PointMetrics> points;
+  double worst_speedup = -1.0;
+  for (const SweepPoint& sp : sweep) {
+    gen::GenConfig config;
+    config.num_rows = rows;
+    config.num_numeric = sp.num_numeric;
+    config.num_nominal = sp.num_nominal;
+    config.cardinality = 20;
+    config.distribution = gen::Distribution::kAnticorrelated;
+    config.seed = kDatasetSeed;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+    Rng rng(7);
+    PreferenceProfile query =
+        gen::RandomImplicitQuery(data, tmpl, sp.order, &rng);
+
+    RankTable ranks(data.schema(), query);
+    std::vector<ScoredRow> sorted =
+        PresortByScore(data, ranks, AllRows(rows));
+
+    // Reference extraction: one DominanceComparator::Compare per window
+    // test (comparator built outside the timer — the kernel side carries
+    // its compile+pack cost inside, so the comparison favors the baseline).
+    DominanceComparator reference(data, query);
+    SfsStats ref_stats;
+    WallTimer ref_timer;
+    std::vector<RowId> ref_sky = SfsExtract(reference, sorted, &ref_stats);
+    const double ref_seconds = ref_timer.ElapsedSeconds();
+
+    // Kernel extraction: profile compilation, candidate packing and the
+    // dense-window scan all inside the timed region — the price a query
+    // actually pays.
+    SfsStats kern_stats;
+    WallTimer kern_timer;
+    CompiledProfile kernel(data.schema(), query);
+    std::vector<RowId> kern_sky = SfsExtract(kernel, data, sorted, &kern_stats);
+    const double kern_seconds = kern_timer.ElapsedSeconds();
+
+    if (kern_sky != ref_sky ||
+        kern_stats.dominance_tests != ref_stats.dominance_tests) {
+      std::fprintf(stderr,
+                   "FATAL: kernel and reference extractions disagree "
+                   "(%zu vs %zu rows, %zu vs %zu tests)\n",
+                   kern_sky.size(), ref_sky.size(),
+                   kern_stats.dominance_tests, ref_stats.dominance_tests);
+      return 1;
+    }
+
+    const double tests = static_cast<double>(ref_stats.dominance_tests);
+    // A kernel run below the timer resolution is infinitely fast, not a
+    // worst case.
+    const double speedup = kern_seconds > 0.0
+                               ? ref_seconds / kern_seconds
+                               : std::numeric_limits<double>::infinity();
+    if (worst_speedup < 0.0 || speedup < worst_speedup) {
+      worst_speedup = speedup;
+    }
+    std::printf(
+        "%zun+%zunom order-%zu: reference %7.2f ns/cmp, kernel %7.2f ns/cmp "
+        "(incl. compile+pack) -> %.2fx over %.0f window tests, |SKY|=%zu\n",
+        sp.num_numeric, sp.num_nominal, sp.order, 1e9 * ref_seconds / tests,
+        1e9 * kern_seconds / tests, speedup, tests, ref_sky.size());
+
+    bench::PointMetrics point;
+    point.label = std::to_string(sp.num_numeric) + "n+" +
+                  std::to_string(sp.num_nominal) + "nom/o" +
+                  std::to_string(sp.order);
+    point.dataset_seed = kDatasetSeed;
+    point.sky_ratio =
+        static_cast<double>(ref_sky.size()) / static_cast<double>(rows);
+    bench::EngineMetrics ref_metrics;
+    ref_metrics.name = "reference";
+    ref_metrics.avg_query_s = ref_seconds;
+    point.engines.push_back(ref_metrics);
+    bench::EngineMetrics kern_metrics;
+    kern_metrics.name = "kernel";
+    kern_metrics.avg_query_s = kern_seconds;
+    point.engines.push_back(kern_metrics);
+    points.push_back(point);
+  }
+
+  std::printf("worst-case kernel speedup across the sweep: %.2fx "
+              "(acceptance bar: 2.00x)\n",
+              worst_speedup);
+  bench::PrintFigure(
+      "Compiled dominance kernel: SFS window extraction, reference vs "
+      "compiled (compile+pack included), " + std::to_string(rows) + " rows",
+      points);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/timer.h"
+#include "dominance/kernel.h"
 #include "skyline/naive.h"
 
 namespace nomsky {
@@ -17,8 +18,8 @@ AdaptiveSfsEngine::AdaptiveSfsEngine(const Dataset& data,
   // Algorithm 3: compute SKY(R̃) and presort it by the template score.
   std::vector<ScoredRow> all =
       PresortByScore(data, *template_ranks_, AllRows(data.num_rows()));
-  DominanceComparator cmp(data, tmpl);
-  std::vector<RowId> skyline = SfsExtract(cmp, all);
+  CompiledProfile kernel(data.schema(), tmpl);
+  std::vector<RowId> skyline = SfsExtract(kernel, data, all);
   sorted_.reserve(skyline.size());
   for (RowId r : skyline) {
     sorted_.push_back(ScoredRow{template_ranks_->Score(data, r), r});
@@ -140,9 +141,13 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
 
   // Merged progressive extraction. Unaffected points keep their template
   // scores and mutual incomparability; every candidate needs checking only
-  // against already-accepted AFFECTED points (see header comment).
-  DominanceComparator cmp(*data_, effective);
-  std::vector<RowId> accepted_affected;
+  // against already-accepted AFFECTED points (see header comment). The
+  // accepted affected points live in a dense compiled-kernel window;
+  // candidates are packed lazily — only when the window is non-empty — so
+  // queries with few affected points keep their o(n)-comparison profile.
+  CompiledProfile kernel(data_->schema(), effective);
+  PackedWindow accepted_affected(kernel.row_slots());
+  std::vector<uint64_t> cand_packed(kernel.row_slots());
   size_t emitted = 0;
 
   size_t iu = 0;  // cursor over sorted_ (skipping affected positions)
@@ -163,16 +168,21 @@ Result<size_t> AdaptiveSfsEngine::QueryProgressive(
     }
     ScoredRow candidate = take_affected ? resorted[ia] : sorted_[iu];
     bool dominated = false;
-    for (RowId s : accepted_affected) {
-      ++stats.dominance_tests;
-      if (cmp.Compare(s, candidate.row) == DomResult::kLeftDominates) {
-        dominated = true;
-        break;
-      }
+    bool packed = false;
+    if (accepted_affected.size() > 0) {
+      kernel.PackRow(*data_, candidate.row, cand_packed.data());
+      packed = true;
+      dominated = WindowDominates(kernel, accepted_affected,
+                                  cand_packed.data(), &stats.dominance_tests);
     }
     if (!dominated) {
       ++emitted;
-      if (take_affected) accepted_affected.push_back(candidate.row);
+      if (take_affected) {
+        if (!packed) {
+          kernel.PackRow(*data_, candidate.row, cand_packed.data());
+        }
+        accepted_affected.Append(cand_packed.data(), candidate.row);
+      }
       if (!consume(candidate.row, candidate.score)) break;
     }
     if (take_affected) {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "dominance/kernel.h"
 #include "skyline/naive.h"
 #include "skyline/sfs.h"
 
@@ -192,13 +193,23 @@ size_t IpoTreeEngine::FillDisqualifiedSet(Node* node,
             j, ImplicitPreference::Make(c, {choices[j]}).ValueOrDie()));
       }
     }
-    DominanceComparator cmp(*data_, eff);
-    for (RowId p : skyline_) {
-      for (RowId q : dominator_pool_) {
-        if (q == p) continue;
-        if (cmp.Compare(q, p) == DomResult::kLeftDominates) {
-          disqualified.push_back(p);
-          break;
+    // Compiled-kernel scan: both row sets packed once per node, then the
+    // |S| x |pool| sweep touches contiguous tuples only. An empty pool
+    // disqualifies nothing — skip before paying the packing cost.
+    if (!dominator_pool_.empty()) {
+      CompiledProfile kernel(data_->schema(), eff);
+      PackedBlock sky_block, pool_block;
+      sky_block.Pack(kernel, *data_, skyline_);
+      pool_block.Pack(kernel, *data_, dominator_pool_);
+      for (size_t pi = 0; pi < sky_block.size(); ++pi) {
+        const RowId p = sky_block.row_id(pi);
+        for (size_t qi = 0; qi < pool_block.size(); ++qi) {
+          if (pool_block.row_id(qi) == p) continue;
+          if (kernel.Compare(pool_block.row(qi), sky_block.row(pi)) ==
+              DomResult::kLeftDominates) {
+            disqualified.push_back(p);
+            break;
+          }
         }
       }
     }

@@ -1,0 +1,78 @@
+#include "dominance/kernel.h"
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+namespace {
+
+constexpr size_t kSlotsPerCacheLine = 64 / sizeof(uint64_t);
+
+size_t PaddedSlots(size_t used) {
+  if (used == 0) return kSlotsPerCacheLine;
+  return (used + kSlotsPerCacheLine - 1) / kSlotsPerCacheLine *
+         kSlotsPerCacheLine;
+}
+
+}  // namespace
+
+CompiledProfile::CompiledProfile(const Schema& schema,
+                                 const PreferenceProfile& profile)
+    : num_numeric_(schema.num_numeric()),
+      num_nominal_(schema.num_nominal()),
+      row_slots_(PaddedSlots(schema.num_numeric() + schema.num_nominal())),
+      sign_(NumericSigns(schema)) {
+  NOMSKY_CHECK(profile.num_nominal() == schema.num_nominal())
+      << "profile arity does not match schema";
+  rank_offset_.reserve(num_nominal_);
+  size_t total = 0;
+  for (size_t j = 0; j < num_nominal_; ++j) {
+    rank_offset_.push_back(total);
+    total += schema.dim(schema.nominal_dims()[j]).cardinality();
+  }
+  ranks_.assign(total, kUnlistedRank);
+  for (size_t j = 0; j < num_nominal_; ++j) {
+    const ImplicitPreference& pref = profile.pref(j);
+    const std::vector<ValueId>& choices = pref.choices();
+    for (size_t pos = 0; pos < choices.size(); ++pos) {
+      ranks_[rank_offset_[j] + choices[pos]] = static_cast<uint32_t>(pos);
+    }
+  }
+}
+
+CompiledGeneralProfile::CompiledGeneralProfile(
+    const Schema& schema, const std::vector<PartialOrder>& orders)
+    : num_numeric_(schema.num_numeric()),
+      num_nominal_(schema.num_nominal()),
+      row_slots_(PaddedSlots(schema.num_numeric() + schema.num_nominal())),
+      sign_(NumericSigns(schema)) {
+  NOMSKY_CHECK(orders.size() == schema.num_nominal())
+      << "order count does not match schema";
+  rel_offset_.reserve(num_nominal_);
+  cardinality_.reserve(num_nominal_);
+  size_t total = 0;
+  for (size_t j = 0; j < num_nominal_; ++j) {
+    const size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
+    NOMSKY_CHECK(orders[j].cardinality() == c)
+        << "order cardinality does not match schema";
+    rel_offset_.push_back(total);
+    cardinality_.push_back(c);
+    total += c * c;
+  }
+  rel_.assign(total, 0);
+  for (size_t j = 0; j < num_nominal_; ++j) {
+    const size_t c = cardinality_[j];
+    for (ValueId a = 0; a < c; ++a) {
+      for (ValueId b = 0; b < c; ++b) {
+        if (a == b) continue;
+        if (orders[j].Contains(a, b)) {
+          rel_[rel_offset_[j] + a * c + b] = 1;
+        } else if (orders[j].Contains(b, a)) {
+          rel_[rel_offset_[j] + a * c + b] = 2;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nomsky

@@ -11,12 +11,14 @@ std::vector<RowId> BnlSkyline(const DominanceComparator& cmp,
   BnlStats local;
   for (RowId p : candidates) {
     bool dominated = false;
+    size_t dominator = 0;
     size_t keep = 0;
     for (size_t i = 0; i < window.size(); ++i) {
       ++local.dominance_tests;
       DomResult r = cmp.Compare(window[i], p);
       if (r == DomResult::kLeftDominates) {
         dominated = true;
+        dominator = keep;  // the dominator is the first entry compacted
         // Everything not yet inspected stays.
         while (i < window.size()) window[keep++] = window[i++];
         break;
@@ -27,11 +29,59 @@ std::vector<RowId> BnlSkyline(const DominanceComparator& cmp,
       // kRightDominates: p evicts window[i] (skip it).
     }
     window.resize(keep);
-    if (!dominated) window.push_back(p);
+    if (dominated) {
+      // Move-to-front: meet this dominator first next time.
+      if (dominator != 0) {
+        std::swap(window[0], window[dominator]);
+        ++local.window_reorders;
+      }
+    } else {
+      window.push_back(p);
+    }
     local.max_window = std::max(local.max_window, window.size());
   }
   if (stats != nullptr) *stats = local;
   return window;
+}
+
+std::vector<RowId> BnlSkyline(const CompiledProfile& kernel,
+                              const Dataset& data,
+                              const std::vector<RowId>& candidates,
+                              BnlStats* stats) {
+  PackedWindow window(kernel.row_slots());
+  std::vector<uint64_t> cand(kernel.row_slots());
+  BnlStats local;
+  for (RowId p : candidates) {
+    kernel.PackRow(data, p, cand.data());
+    bool dominated = false;
+    size_t dominator = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < window.size(); ++i) {
+      ++local.dominance_tests;
+      DomResult r = kernel.Compare(window.row(i), cand.data());
+      if (r == DomResult::kLeftDominates) {
+        dominated = true;
+        dominator = keep;
+        while (i < window.size()) window.CopyEntry(i++, keep++);
+        break;
+      }
+      if (r != DomResult::kRightDominates) {
+        window.CopyEntry(i, keep++);
+      }
+    }
+    window.Truncate(keep);
+    if (dominated) {
+      if (dominator != 0) {
+        window.PromoteToFront(dominator);
+        ++local.window_reorders;
+      }
+    } else {
+      window.Append(cand.data(), p);
+    }
+    local.max_window = std::max(local.max_window, window.size());
+  }
+  if (stats != nullptr) *stats = local;
+  return window.ids();
 }
 
 }  // namespace nomsky

@@ -4,6 +4,11 @@
 // dropped if dominated, replaces window members it dominates, and is added
 // otherwise. The in-memory variant (the whole window fits) needs a single
 // pass.
+//
+// Both variants apply a move-to-front heuristic: a window member that
+// dominates the incoming tuple is promoted to the front of the window, so
+// strong dominators are met first by subsequent candidates and kill them
+// with fewer tests. Promotions are counted in BnlStats::window_reorders.
 
 #ifndef NOMSKY_SKYLINE_BNL_H_
 #define NOMSKY_SKYLINE_BNL_H_
@@ -12,6 +17,7 @@
 
 #include "common/types.h"
 #include "dominance/dominance.h"
+#include "dominance/kernel.h"
 
 namespace nomsky {
 
@@ -19,12 +25,24 @@ namespace nomsky {
 struct BnlStats {
   size_t dominance_tests = 0;
   size_t max_window = 0;
+  size_t window_reorders = 0;  ///< move-to-front promotions
 };
 
 /// \brief BNL skyline of `candidates` under `cmp`. Duplicated tuples
 /// (equal in every dimension) are all retained, matching the skyline
-/// definition (neither dominates the other).
+/// definition (neither dominates the other). This is the REFERENCE
+/// implementation; the compiled-kernel overload below performs the
+/// identical comparison sequence over packed tuples.
 std::vector<RowId> BnlSkyline(const DominanceComparator& cmp,
+                              const std::vector<RowId>& candidates,
+                              BnlStats* stats = nullptr);
+
+/// \brief Compiled-kernel BNL: the window lives in a dense cache-packed
+/// scratch (eviction compacts rows in place, promotion swaps rows), each
+/// candidate is packed once. Returns the identical row sequence and stats
+/// as the reference overload.
+std::vector<RowId> BnlSkyline(const CompiledProfile& kernel,
+                              const Dataset& data,
                               const std::vector<RowId>& candidates,
                               BnlStats* stats = nullptr);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "dominance/kernel.h"
 #include "exec/thread_pool.h"
 
 namespace nomsky {
@@ -81,21 +82,20 @@ std::vector<std::pair<double, RowId>> SortedByScore(
   return sorted;
 }
 
+// Kernel extraction: candidates packed once under the compiled orders, the
+// accepted window kept as a dense scratch (same shape as the implicit-
+// preference path in skyline/sfs.cc).
 std::vector<RowId> ExtractSkyline(
-    const GeneralDominanceComparator& cmp,
+    const CompiledGeneralProfile& kernel, const Dataset& data,
     const std::vector<std::pair<double, RowId>>& sorted) {
-  std::vector<RowId> skyline;
+  std::vector<uint64_t> cand(kernel.row_slots());
+  uint64_t* const cp = cand.data();
+  PackedWindow window(kernel.row_slots());
   for (const auto& [s, r] : sorted) {
-    bool dominated = false;
-    for (RowId member : skyline) {
-      if (cmp.Compare(member, r) == DomResult::kLeftDominates) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) skyline.push_back(r);
+    kernel.PackRow(data, r, cp);
+    if (!WindowDominates(kernel, window, cp)) window.Append(cp, r);
   }
-  return skyline;
+  return window.ids();
 }
 
 }  // namespace
@@ -106,8 +106,8 @@ std::vector<RowId> GeneralSfsSkyline(const Dataset& data,
   const Schema& schema = data.schema();
   NOMSKY_CHECK(orders.size() == schema.num_nominal());
   GeneralScorer score(data, orders);
-  GeneralDominanceComparator cmp(data, orders);
-  return ExtractSkyline(cmp, SortedByScore(score, candidates));
+  CompiledGeneralProfile kernel(schema, orders);
+  return ExtractSkyline(kernel, data, SortedByScore(score, candidates));
 }
 
 std::vector<RowId> MergeGeneralLocalSkylines(
@@ -132,7 +132,8 @@ std::vector<RowId> ParallelGeneralSfsSkyline(
   const Schema& schema = data.schema();
   NOMSKY_CHECK(orders.size() == schema.num_nominal());
   GeneralScorer score(data, orders);
-  GeneralDominanceComparator cmp(data, orders);
+  // Compiled once; immutable afterwards, so shared by all shards.
+  CompiledGeneralProfile kernel(schema, orders);
 
   // Local pass: per-shard skylines, kept with scores for the final merge.
   std::vector<std::vector<std::pair<double, RowId>>> local(shards);
@@ -144,7 +145,7 @@ std::vector<RowId> ParallelGeneralSfsSkyline(
                              candidates.begin() + end);
     std::vector<std::pair<double, RowId>> sorted =
         SortedByScore(score, slice);
-    std::vector<RowId> sky = ExtractSkyline(cmp, sorted);
+    std::vector<RowId> sky = ExtractSkyline(kernel, data, sorted);
     std::vector<std::pair<double, RowId>>& mine = local[s];
     mine.reserve(sky.size());
     size_t cursor = 0;  // sky is an in-order subsequence of sorted
@@ -163,7 +164,7 @@ std::vector<RowId> ParallelGeneralSfsSkyline(
     merged.insert(merged.end(), shard.begin(), shard.end());
   }
   std::sort(merged.begin(), merged.end());
-  return ExtractSkyline(cmp, merged);
+  return ExtractSkyline(kernel, data, merged);
 }
 
 }  // namespace nomsky

@@ -39,14 +39,34 @@ std::vector<RowId> SfsExtract(const DominanceComparator& cmp,
   return skyline;
 }
 
+std::vector<RowId> SfsExtract(const CompiledProfile& kernel,
+                              const Dataset& data,
+                              const std::vector<ScoredRow>& sorted,
+                              SfsStats* stats) {
+  // Pack every candidate once; the accepted window is re-packed densely in
+  // acceptance order so the inner scan streams contiguous cache lines.
+  std::vector<uint64_t> cand(kernel.row_slots());
+  uint64_t* const cp = cand.data();
+  PackedWindow window(kernel.row_slots());
+  SfsStats local;
+  for (const ScoredRow& sr : sorted) {
+    kernel.PackRow(data, sr.row, cp);
+    if (!WindowDominates(kernel, window, cp, &local.dominance_tests)) {
+      window.Append(cp, sr.row);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return window.ids();
+}
+
 std::vector<RowId> SfsSkyline(const Dataset& data,
                               const PreferenceProfile& profile,
                               const std::vector<RowId>& candidates,
                               SfsStats* stats) {
   RankTable ranks(data.schema(), profile);
   std::vector<ScoredRow> sorted = PresortByScore(data, ranks, candidates);
-  DominanceComparator cmp(data, profile);
-  return SfsExtract(cmp, sorted, stats);
+  CompiledProfile kernel(data.schema(), profile);
+  return SfsExtract(kernel, data, sorted, stats);
 }
 
 std::vector<RowId> MergeLocalSkylines(
@@ -71,7 +91,10 @@ std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
     return SfsSkyline(data, profile, candidates, stats);
   }
   RankTable ranks(data.schema(), profile);
-  DominanceComparator cmp(data, profile);
+  // One compiled profile shared by every shard and the merge pass: the
+  // compiled state is immutable after construction, so concurrent readers
+  // are safe.
+  CompiledProfile kernel(data.schema(), profile);
 
   // Local pass: each shard presorts its slice and keeps the surviving
   // (score, row) pairs, still in score order.
@@ -85,7 +108,7 @@ std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
                              candidates.begin() + end);
     std::vector<ScoredRow> sorted = PresortByScore(data, ranks, slice);
     SfsStats shard_stats;
-    std::vector<RowId> sky = SfsExtract(cmp, sorted, &shard_stats);
+    std::vector<RowId> sky = SfsExtract(kernel, data, sorted, &shard_stats);
     shard_tests.fetch_add(shard_stats.dominance_tests,
                           std::memory_order_relaxed);
     std::vector<ScoredRow>& mine = local[s];
@@ -109,7 +132,7 @@ std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
   }
   std::sort(merged.begin(), merged.end());
   SfsStats merge_stats;
-  std::vector<RowId> skyline = SfsExtract(cmp, merged, &merge_stats);
+  std::vector<RowId> skyline = SfsExtract(kernel, data, merged, &merge_stats);
   if (stats != nullptr) {
     stats->dominance_tests =
         shard_tests.load(std::memory_order_relaxed) +

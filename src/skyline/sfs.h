@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "dominance/dominance.h"
+#include "dominance/kernel.h"
 #include "order/ranking.h"
 
 namespace nomsky {
@@ -39,7 +40,20 @@ std::vector<ScoredRow> PresortByScore(const Dataset& data,
 /// \brief Skyline extraction over an f-sorted sequence. `sorted` MUST be
 /// ordered by a score function monotone under `cmp`'s dominance relation.
 /// Returns rows in emission (score) order — the progressive order.
+///
+/// This is the REFERENCE extraction (one DominanceComparator::Compare per
+/// window test); the engines run the compiled-kernel overload below, which
+/// property tests pin against this one.
 std::vector<RowId> SfsExtract(const DominanceComparator& cmp,
+                              const std::vector<ScoredRow>& sorted,
+                              SfsStats* stats = nullptr);
+
+/// \brief Compiled-kernel extraction: candidates are packed row-major once
+/// and the accepted window is kept as a dense cache-packed scratch, so each
+/// window test touches one contiguous tuple per side. Emits the identical
+/// row sequence (and dominance-test count) as the reference overload.
+std::vector<RowId> SfsExtract(const CompiledProfile& kernel,
+                              const Dataset& data,
                               const std::vector<ScoredRow>& sorted,
                               SfsStats* stats = nullptr);
 

@@ -1,0 +1,281 @@
+// Property suite pinning the compiled dominance kernel byte-identical to
+// the reference comparators (dominance/dominance.h). Every engine now runs
+// the kernel path, so these tests — together with the registry-driven
+// engine_equivalence_test, which re-verifies every engine (including
+// sharded:* at 1/2/8 shards) against the naive ground truth on the kernel
+// path — are the correctness anchor of the hot loop.
+
+#include "dominance/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "skyline/bnl.h"
+#include "skyline/naive.h"
+#include "skyline/sfs.h"
+
+namespace nomsky {
+namespace {
+
+// Table 1 of the paper (price, hotel-class, hotel-group).
+Schema PaperSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNumeric("hotel_class", SortDirection::kMaxBetter).ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  return s;
+}
+
+TEST(CompiledProfileTest, RanksAndSigns) {
+  Schema schema = PaperSchema();
+  auto profile =
+      PreferenceProfile::Parse(schema, {{"hotel_group", "T<M<*"}})
+          .ValueOrDie();
+  CompiledProfile kernel(schema, profile);
+  EXPECT_EQ(kernel.num_numeric(), 2u);
+  EXPECT_EQ(kernel.num_nominal(), 1u);
+  EXPECT_EQ(kernel.row_slots() % 8, 0u);  // cache-line multiple
+  EXPECT_EQ(kernel.numeric_sign(0), 1.0);   // price: min better
+  EXPECT_EQ(kernel.numeric_sign(1), -1.0);  // class: max better
+  EXPECT_EQ(kernel.rank(0, 0), 0u);  // T: first choice
+  EXPECT_EQ(kernel.rank(0, 2), 1u);  // M: second choice
+  EXPECT_EQ(kernel.rank(0, 1), CompiledProfile::kUnlistedRank);  // H
+}
+
+// All four DomResult outcomes on crafted rows, including the two key
+// semantic corners: distinct unlisted values are incomparable (never
+// equal), and rows that tie in every dimension are equal.
+TEST(CompiledProfileTest, FourOutcomeSemantics) {
+  Schema schema = PaperSchema();
+  Dataset data(schema);
+  ASSERT_TRUE(data.Append({{100, 3}, {0}}).ok());  // 0: T
+  ASSERT_TRUE(data.Append({{200, 2}, {0}}).ok());  // 1: T, worse numerics
+  ASSERT_TRUE(data.Append({{100, 3}, {1}}).ok());  // 2: H (unlisted)
+  ASSERT_TRUE(data.Append({{100, 3}, {2}}).ok());  // 3: M (unlisted)
+  ASSERT_TRUE(data.Append({{100, 3}, {0}}).ok());  // 4: tie-only vs 0
+  ASSERT_TRUE(data.Append({{50, 1}, {0}}).ok());   // 5: mixed vs 0
+
+  auto profile = PreferenceProfile::Parse(schema, {{"hotel_group", "T<*"}})
+                     .ValueOrDie();
+  CompiledProfile kernel(schema, profile);
+  PackedBlock block;
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+  auto cmp = [&](RowId p, RowId q) {
+    return kernel.Compare(block.row(p), block.row(q));
+  };
+
+  EXPECT_EQ(cmp(0, 1), DomResult::kLeftDominates);
+  EXPECT_EQ(cmp(1, 0), DomResult::kRightDominates);
+  EXPECT_EQ(cmp(0, 4), DomResult::kEqual);  // tie in every dimension
+  // T ≺ * beats unlisted H with equal numerics.
+  EXPECT_EQ(cmp(0, 2), DomResult::kLeftDominates);
+  // H vs M: distinct unlisted values — incomparable even with identical
+  // numerics (the rank sentinel must not read as a tie).
+  EXPECT_EQ(cmp(2, 3), DomResult::kIncomparable);
+  EXPECT_EQ(cmp(3, 2), DomResult::kIncomparable);
+  // Better price, worse class: numeric conflict.
+  EXPECT_EQ(cmp(5, 0), DomResult::kIncomparable);
+}
+
+// Randomized sweep: the kernel must return the byte-identical DomResult to
+// DominanceComparator for every pair, every profile order, and all four
+// outcomes must actually occur across the sweep.
+TEST(CompiledProfileTest, MatchesReferenceComparatorOnRandomData) {
+  std::array<size_t, 4> outcome_counts{};
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    gen::GenConfig config;
+    config.num_rows = 160;
+    config.num_numeric = 1 + seed % 3;
+    config.num_nominal = 1 + seed % 3;
+    config.cardinality = 6;
+    config.seed = seed;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+    Rng rng(seed * 17);
+    for (size_t order = 0; order <= 3; ++order) {
+      PreferenceProfile query =
+          order == 0 ? PreferenceProfile(data.schema())
+                     : gen::RandomImplicitQuery(data, tmpl, order, &rng);
+      DominanceComparator reference(data, query);
+      CompiledProfile kernel(data.schema(), query);
+      PackedBlock block;
+      block.Pack(kernel, data, AllRows(data.num_rows()));
+      for (RowId p = 0; p < data.num_rows(); ++p) {
+        for (RowId q = 0; q < data.num_rows(); ++q) {
+          DomResult expected = reference.Compare(p, q);
+          DomResult got = kernel.Compare(block.row(p), block.row(q));
+          ASSERT_EQ(got, expected) << "seed " << seed << " order " << order
+                                   << " p=" << p << " q=" << q;
+          ++outcome_counts[static_cast<size_t>(expected)];
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < outcome_counts.size(); ++i) {
+    EXPECT_GT(outcome_counts[i], 0u) << "outcome " << i << " never exercised";
+  }
+}
+
+// The general-model kernel against GeneralDominanceComparator, under the
+// explicit P(R̃) expansions of random implicit queries (which include empty
+// orders) plus extra random pairs to exercise genuinely partial shapes.
+TEST(CompiledGeneralProfileTest, MatchesReferenceComparator) {
+  for (uint64_t seed : {21u, 22u}) {
+    gen::GenConfig config;
+    config.num_rows = 120;
+    config.num_nominal = 2;
+    config.cardinality = 5;
+    config.seed = seed;
+    Dataset data = gen::Generate(config);
+    PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+    Rng rng(seed);
+    PreferenceProfile query =
+        gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+    std::vector<PartialOrder> orders;
+    for (size_t j = 0; j < query.num_nominal(); ++j) {
+      PartialOrder order = query.pref(j).ToPartialOrder();
+      // Drop in one extra random edge when it stays acyclic.
+      ValueId u = static_cast<ValueId>(rng.UniformInt(5));
+      ValueId v = static_cast<ValueId>(rng.UniformInt(5));
+      if (u != v && !order.Contains(v, u)) {
+        ASSERT_TRUE(order.AddPair(u, v).ok());
+      }
+      orders.push_back(std::move(order));
+    }
+    GeneralDominanceComparator reference(data, orders);
+    CompiledGeneralProfile kernel(data.schema(), orders);
+    PackedBlock block;
+    block.Pack(kernel, data, AllRows(data.num_rows()));
+    for (RowId p = 0; p < data.num_rows(); ++p) {
+      for (RowId q = 0; q < data.num_rows(); ++q) {
+        ASSERT_EQ(kernel.Compare(block.row(p), block.row(q)),
+                  reference.Compare(p, q))
+            << "seed " << seed << " p=" << p << " q=" << q;
+      }
+    }
+  }
+}
+
+// Kernel SFS extraction must emit the identical row sequence (progressive
+// order) and dominance-test count as the reference extraction.
+TEST(KernelExtractionTest, SfsExtractIdenticalToReference) {
+  gen::GenConfig config;
+  config.num_rows = 400;
+  config.seed = 31;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(32);
+  for (size_t order : {0u, 2u, 4u}) {
+    PreferenceProfile query =
+        order == 0 ? PreferenceProfile(data.schema())
+                   : gen::RandomImplicitQuery(data, tmpl, order, &rng);
+    RankTable ranks(data.schema(), query);
+    std::vector<ScoredRow> sorted =
+        PresortByScore(data, ranks, AllRows(data.num_rows()));
+    DominanceComparator cmp(data, query);
+    SfsStats ref_stats, kern_stats;
+    std::vector<RowId> reference = SfsExtract(cmp, sorted, &ref_stats);
+    CompiledProfile kernel(data.schema(), query);
+    std::vector<RowId> got = SfsExtract(kernel, data, sorted, &kern_stats);
+    EXPECT_EQ(got, reference);
+    EXPECT_EQ(kern_stats.dominance_tests, ref_stats.dominance_tests);
+  }
+}
+
+// Kernel BNL must walk the identical window sequence as the reference BNL
+// (same results in the same order, same stats, including MTF reorders).
+TEST(KernelExtractionTest, BnlIdenticalToReference) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = 41;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(42);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  DominanceComparator cmp(data, query);
+  BnlStats ref_stats, kern_stats;
+  std::vector<RowId> reference =
+      BnlSkyline(cmp, AllRows(data.num_rows()), &ref_stats);
+  CompiledProfile kernel(data.schema(), query);
+  std::vector<RowId> got =
+      BnlSkyline(kernel, data, AllRows(data.num_rows()), &kern_stats);
+  EXPECT_EQ(got, reference);
+  EXPECT_EQ(kern_stats.dominance_tests, ref_stats.dominance_tests);
+  EXPECT_EQ(kern_stats.max_window, ref_stats.max_window);
+  EXPECT_EQ(kern_stats.window_reorders, ref_stats.window_reorders);
+}
+
+// The move-to-front heuristic: a dominator sitting deep in the window gets
+// promoted (and counted) the first time it kills a candidate.
+TEST(KernelExtractionTest, BnlMoveToFrontPromotesAndCounts) {
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x").ok());
+  ASSERT_TRUE(s.AddNumeric("y").ok());
+  Dataset data(s);
+  ASSERT_TRUE(data.Append({{0.0, 10.0}, {}}).ok());  // 0: window front
+  ASSERT_TRUE(data.Append({{5.0, 5.0}, {}}).ok());   // 1: the dominator
+  ASSERT_TRUE(data.Append({{6.0, 6.0}, {}}).ok());   // 2: killed by 1
+  ASSERT_TRUE(data.Append({{7.0, 7.0}, {}}).ok());   // 3: killed by 1
+  PreferenceProfile empty(s);
+  DominanceComparator cmp(data, empty);
+  BnlStats stats;
+  std::vector<RowId> sky = BnlSkyline(cmp, AllRows(4), &stats);
+  // Rows 0 and 1 are incomparable; 2 and 3 are dominated by 1. The first
+  // kill promotes row 1 past row 0, so the second kill costs one test.
+  EXPECT_EQ(sky, (std::vector<RowId>{1, 0}));
+  EXPECT_EQ(stats.window_reorders, 1u);
+
+  CompiledProfile kernel(s, empty);
+  BnlStats kern_stats;
+  EXPECT_EQ(BnlSkyline(kernel, data, AllRows(4), &kern_stats), sky);
+  EXPECT_EQ(kern_stats.window_reorders, 1u);
+}
+
+TEST(PackedBlockTest, RowIdsAndReuseAcrossProfiles) {
+  gen::GenConfig config;
+  config.num_rows = 50;
+  config.seed = 51;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile empty(data.schema());
+  CompiledProfile kernel(data.schema(), empty);
+  std::vector<RowId> ids = {7, 3, 11};
+  PackedBlock block;
+  block.Pack(kernel, data, ids);
+  ASSERT_EQ(block.size(), 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(block.row_id(i), ids[i]);
+    // Packed slots reproduce the reference comparison against itself.
+    EXPECT_EQ(kernel.Compare(block.row(i), block.row(i)), DomResult::kEqual);
+  }
+  // Re-packing with a different row set reuses the buffer.
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+  EXPECT_EQ(block.size(), data.num_rows());
+  EXPECT_GT(block.MemoryUsage(), 0u);
+}
+
+TEST(PackedWindowTest, AppendCompactPromote) {
+  PackedWindow window(8);
+  std::vector<uint64_t> row(8, 0);
+  for (uint64_t v = 0; v < 4; ++v) {
+    row[0] = v;
+    window.Append(row.data(), static_cast<RowId>(v));
+  }
+  ASSERT_EQ(window.size(), 4u);
+  window.PromoteToFront(2);
+  EXPECT_EQ(window.id(0), 2u);
+  EXPECT_EQ(window.row(0)[0], 2u);
+  EXPECT_EQ(window.id(2), 0u);
+  // Compact entry 3 down over entry 1 and truncate.
+  window.CopyEntry(3, 1);
+  window.Truncate(2);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.id(1), 3u);
+  EXPECT_EQ(window.row(1)[0], 3u);
+}
+
+}  // namespace
+}  // namespace nomsky
