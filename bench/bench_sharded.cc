@@ -91,7 +91,7 @@ int main() {
       std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
       const double wall_build = engine->preprocessing_seconds();
       const double serial_equiv = engine->shard_build_seconds_total() +
-                                  engine->sharded_data().partition_seconds();
+                                  engine->partition_seconds();
       const double avg_query = measure_queries(*engine);
 
       std::printf(

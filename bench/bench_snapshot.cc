@@ -1,0 +1,220 @@
+// Shard snapshot layer: what the immutable image format and the epoch
+// swap buy, in two figures.
+//
+//   * startup: cold start (parse the CSV, partition, neutral-pack, build
+//     the per-shard engines) vs image start (read the pre-packed shard
+//     image and build the engines over it — no parse, no partition, no
+//     PackRow), swept over shard counts. The image row is the serving
+//     story: restart cost is the file read plus the index builds.
+//   * update: refreshing ONE shard via RebuildShard vs rebuilding the
+//     whole engine from the table — the 1/K update cost the epoch design
+//     exists for.
+//
+// Both figures verify their two engines answer identically before any
+// number is reported; a divergence exits 1 (a bench that measures a wrong
+// engine is worse than no bench).
+//
+// NOMSKY_SCALE scales the dataset; NOMSKY_QUERIES the queries compared.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/csv.h"
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "harness.h"
+
+using namespace nomsky;
+
+namespace {
+
+std::string TempPath(const char* tag, const char* ext) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/nomsky_bench_" +
+         tag + ext;
+}
+
+void CheckAgreement(const SkylineEngine& a, const SkylineEngine& b,
+                    const std::vector<PreferenceProfile>& queries,
+                    const char* where) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto ra = a.Query(queries[i]);
+    auto rb = b.Query(queries[i]);
+    if (!ra.ok() || !rb.ok() || *ra != *rb) {
+      std::fprintf(stderr, "%s: engines diverge on query %zu\n", where, i);
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kDatasetSeed = 42;
+  gen::GenConfig config;
+  config.num_rows = bench::ScaledRows(40000);
+  config.num_numeric = 2;
+  config.num_nominal = 3;
+  config.cardinality = 10;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = kDatasetSeed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+
+  const size_t num_queries = bench::EnvQueries(4);
+  Rng rng(7);
+  std::vector<PreferenceProfile> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(gen::RandomImplicitQuery(data, tmpl, /*order=*/2, &rng));
+  }
+
+  // The cold side starts from the durable form a fresh process would:
+  // the table as a CSV on disk.
+  const std::string csv_path = TempPath("snapshot", ".csv");
+  if (!gen::SaveCsv(data, csv_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+
+  const std::string inner = "sfsd";
+  ThreadPool pool(4);
+
+  // ---- Figure 1: cold start vs image start, per shard count -----------
+  std::vector<bench::PointMetrics> startup_points;
+  for (size_t shards : {2, 4, 8}) {
+    EngineOptions options;
+    options.pool = &pool;
+    options.data_shards = shards;
+
+    WallTimer cold_timer;
+    auto parsed = gen::LoadCsv(data.schema(), csv_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "LoadCsv: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    auto cold = ShardedEngine::Create(inner, *parsed, tmpl, options);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold: %s\n", cold.status().ToString().c_str());
+      return 1;
+    }
+    const double cold_wall = cold_timer.ElapsedSeconds();
+
+    const std::string image_path = TempPath("snapshot", ".img");
+    if (!(*cold)->SaveImage(image_path).ok()) {
+      std::fprintf(stderr, "SaveImage failed\n");
+      return 1;
+    }
+
+    WallTimer image_timer;
+    auto image = ShardImage::Load(image_path);
+    if (!image.ok()) {
+      std::fprintf(stderr, "Load: %s\n", image.status().ToString().c_str());
+      return 1;
+    }
+    auto warm = ShardedEngine::CreateFromImage(inner, std::move(*image), tmpl,
+                                               options);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm: %s\n", warm.status().ToString().c_str());
+      return 1;
+    }
+    const double image_wall = image_timer.ElapsedSeconds();
+    CheckAgreement(**cold, **warm, queries, "startup");
+    std::remove(image_path.c_str());
+
+    std::printf("startup x%zu: cold %7.1f ms (csv + partition + pack + "
+                "build), image %7.1f ms (%.2fx faster)\n",
+                shards, 1e3 * cold_wall, 1e3 * image_wall,
+                image_wall > 0.0 ? cold_wall / image_wall : 0.0);
+
+    bench::PointMetrics point;
+    point.label = "x" + std::to_string(shards);
+    point.dataset_seed = kDatasetSeed;
+    bench::EngineMetrics cold_metrics;
+    cold_metrics.name = "cold(csv+build)";
+    cold_metrics.threads = 4;
+    cold_metrics.preprocess_s = cold_wall;
+    cold_metrics.storage_bytes = (*cold)->MemoryUsage();
+    point.engines.push_back(cold_metrics);
+    bench::EngineMetrics image_metrics;
+    image_metrics.name = "image(load+build)";
+    image_metrics.threads = 4;
+    image_metrics.preprocess_s = image_wall;
+    image_metrics.storage_bytes = (*warm)->MemoryUsage();
+    point.engines.push_back(image_metrics);
+    startup_points.push_back(point);
+  }
+  bench::PrintFigure(
+      "Shard snapshots: cold start (CSV) vs image start, sharded:" + inner +
+          ", " + std::to_string(data.num_rows()) + " rows",
+      startup_points);
+
+  // ---- Figure 2: one-shard refresh vs full rebuild --------------------
+  std::vector<bench::PointMetrics> update_points;
+  for (size_t shards : {2, 4, 8}) {
+    EngineOptions options;
+    options.pool = &pool;
+    options.data_shards = shards;
+    auto engine = ShardedEngine::Create(inner, data, tmpl, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+
+    // Refresh shard 0 with its own rows — the same work an update batch
+    // of that shard's size would pay, measured end to end (pack + inner
+    // build + publish).
+    auto snap = (*engine)->snapshot(0);
+    Dataset rows(data.schema());
+    if (!rows.AppendRowsFrom(data, snap->global_rows).ok()) return 1;
+    WallTimer rebuild_timer;
+    Status st = (*engine)->RebuildShard(0, std::move(rows),
+                                        snap->global_rows);
+    const double rebuild_wall = rebuild_timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "RebuildShard: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    WallTimer full_timer;
+    auto fresh = ShardedEngine::Create(inner, data, tmpl, options);
+    const double full_wall = full_timer.ElapsedSeconds();
+    if (!fresh.ok()) return 1;
+    CheckAgreement(**engine, **fresh, queries, "update");
+
+    std::printf("update  x%zu: one-shard refresh %7.1f ms vs full rebuild "
+                "%7.1f ms (%.2fx cheaper)\n",
+                shards, 1e3 * rebuild_wall, 1e3 * full_wall,
+                rebuild_wall > 0.0 ? full_wall / rebuild_wall : 0.0);
+
+    bench::PointMetrics point;
+    point.label = "x" + std::to_string(shards);
+    point.dataset_seed = kDatasetSeed;
+    bench::EngineMetrics rebuild_metrics;
+    rebuild_metrics.name = "refresh-one-shard";
+    rebuild_metrics.threads = 4;
+    rebuild_metrics.preprocess_s = rebuild_wall;
+    rebuild_metrics.storage_bytes = (*engine)->MemoryUsage();
+    point.engines.push_back(rebuild_metrics);
+    bench::EngineMetrics full_metrics;
+    full_metrics.name = "full-rebuild";
+    full_metrics.threads = 4;
+    full_metrics.preprocess_s = full_wall;
+    full_metrics.storage_bytes = (*fresh)->MemoryUsage();
+    point.engines.push_back(full_metrics);
+    update_points.push_back(point);
+  }
+  bench::PrintFigure(
+      "Shard snapshots: one-shard epoch refresh vs full rebuild, sharded:" +
+          inner + ", " + std::to_string(data.num_rows()) + " rows",
+      update_points);
+
+  std::remove(csv_path.c_str());
+  return 0;
+}

@@ -22,6 +22,12 @@ Only the in-tree harness schema (a top-level JSON array of figures, see
 bench/harness.cc) is checked; other JSON files (e.g. google-benchmark's
 BENCH_micro.json) are skipped with a note.
 
+Missing baselines never fail the gate, they only warn: a fresh bench with
+no committed BENCH_*.json counterpart — or a --baseline directory that
+does not exist at all (e.g. the first run on a new branch) — is reported
+as "warning: ... skipping" and the run exits 0. Committing the fresh
+results as the new baseline arms the gate for the next run.
+
 Usage:
   scripts/check_bench_regression.py --baseline bench_results --fresh out \
       [--tolerance 0.25] [--min-seconds 0.001]
@@ -87,13 +93,20 @@ def main():
         print(f"error: no BENCH_*.json under {args.fresh}", file=sys.stderr)
         return 2
 
+    if not args.baseline.is_dir():
+        print(f"warning: baseline directory {args.baseline} does not exist; "
+              "nothing to gate against — skipping all "
+              f"{len(fresh_files)} fresh benches (commit the fresh results "
+              "there to arm the gate)")
+        return 0
+
     regressions = []
     compared = 0
     for fresh_path in fresh_files:
         base_path = args.baseline / fresh_path.name
         if not base_path.exists():
-            print(f"note: {fresh_path.name} has no committed baseline; "
-                  "skipping (commit one to gate it)")
+            print(f"warning: {fresh_path.name} has no committed baseline; "
+                  "skipping it (commit one to gate it)")
             continue
         fresh_figs = load_harness_figures(fresh_path)
         base_figs = load_harness_figures(base_path)

@@ -2,6 +2,50 @@
 
 namespace nomsky {
 
+Result<Dataset> Dataset::FromColumns(
+    Schema schema, std::vector<std::vector<double>> numeric,
+    std::vector<std::vector<ValueId>> nominal) {
+  if (numeric.size() != schema.num_numeric() ||
+      nominal.size() != schema.num_nominal()) {
+    return Status::InvalidArgument(
+        "column layout mismatch: got ", numeric.size(), " numeric / ",
+        nominal.size(), " nominal, schema has ", schema.num_numeric(), " / ",
+        schema.num_nominal());
+  }
+  size_t rows = 0;
+  bool have_rows = false;
+  for (const auto& c : numeric) {
+    if (have_rows && c.size() != rows) {
+      return Status::InvalidArgument("ragged numeric columns: ", c.size(),
+                                     " vs ", rows, " rows");
+    }
+    rows = c.size();
+    have_rows = true;
+  }
+  for (size_t j = 0; j < nominal.size(); ++j) {
+    if (have_rows && nominal[j].size() != rows) {
+      return Status::InvalidArgument("ragged nominal columns: ",
+                                     nominal[j].size(), " vs ", rows, " rows");
+    }
+    rows = nominal[j].size();
+    have_rows = true;
+    DimId d = schema.nominal_dims()[j];
+    const size_t cardinality = schema.dim(d).cardinality();
+    for (ValueId v : nominal[j]) {
+      if (v >= cardinality) {
+        return Status::OutOfRange("nominal value id ", v,
+                                  " out of range for dimension '",
+                                  schema.dim(d).name(), "'");
+      }
+    }
+  }
+  Dataset data(std::move(schema));
+  data.numeric_cols_ = std::move(numeric);
+  data.nominal_cols_ = std::move(nominal);
+  data.num_rows_ = rows;
+  return data;
+}
+
 Status Dataset::Append(const RowValues& row) {
   if (row.numeric.size() != schema_.num_numeric() ||
       row.nominal.size() != schema_.num_nominal()) {

@@ -33,6 +33,15 @@ class Dataset {
     nominal_cols_.resize(schema_.num_nominal());
   }
 
+  /// \brief Builds a dataset directly from fully materialized typed columns
+  /// (numeric[i] = i-th numeric dimension, nominal[j] = j-th nominal).
+  /// Column counts and lengths must agree with the schema; nominal values
+  /// must be within their dimension's cardinality. This is the bulk-load
+  /// seam deserializers use to rebuild a dataset without per-row Append.
+  static Result<Dataset> FromColumns(Schema schema,
+                                     std::vector<std::vector<double>> numeric,
+                                     std::vector<std::vector<ValueId>> nominal);
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
 

@@ -1,0 +1,66 @@
+#include "common/serialize.h"
+
+namespace nomsky {
+
+namespace {
+
+// Sanity bounds for schema payloads: generous for any real dataset, tight
+// enough that a corrupt length prefix fails fast instead of allocating.
+constexpr uint32_t kMaxDims = 1u << 16;
+constexpr uint32_t kMaxNameLen = 1u << 16;
+constexpr uint32_t kMaxDictSize = 1u << 24;
+
+}  // namespace
+
+void WriteSchema(BinaryWriter& writer, const Schema& schema) {
+  writer.Pod<uint32_t>(static_cast<uint32_t>(schema.num_dims()));
+  for (DimId d = 0; d < schema.num_dims(); ++d) {
+    const Dimension& dim = schema.dim(d);
+    writer.Pod<uint8_t>(dim.is_nominal() ? 1 : 0);
+    writer.Pod<uint8_t>(dim.direction() == SortDirection::kMaxBetter ? 1 : 0);
+    writer.String(dim.name());
+    if (dim.is_nominal()) {
+      writer.Pod<uint32_t>(static_cast<uint32_t>(dim.cardinality()));
+      for (const std::string& value : dim.dictionary()) writer.String(value);
+    }
+  }
+}
+
+Result<Schema> ReadSchema(BinaryReader& reader) {
+  uint32_t num_dims = 0;
+  if (!reader.Pod(&num_dims) || num_dims > kMaxDims) {
+    return Status::InvalidArgument("schema: bad dimension count");
+  }
+  Schema schema;
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    uint8_t is_nominal = 0, max_better = 0;
+    std::string name;
+    if (!reader.Pod(&is_nominal) || is_nominal > 1 ||
+        !reader.Pod(&max_better) || max_better > 1 ||
+        !reader.String(&name, kMaxNameLen)) {
+      return Status::InvalidArgument("schema: truncated dimension ", d);
+    }
+    if (is_nominal == 0) {
+      NOMSKY_RETURN_NOT_OK(schema.AddNumeric(
+          std::move(name), max_better ? SortDirection::kMaxBetter
+                                      : SortDirection::kMinBetter));
+      continue;
+    }
+    uint32_t cardinality = 0;
+    if (!reader.Pod(&cardinality) || cardinality > kMaxDictSize) {
+      return Status::InvalidArgument("schema: bad cardinality on dim ", d);
+    }
+    std::vector<std::string> dictionary(cardinality);
+    for (uint32_t v = 0; v < cardinality; ++v) {
+      if (!reader.String(&dictionary[v], kMaxNameLen)) {
+        return Status::InvalidArgument("schema: truncated dictionary on dim ",
+                                       d);
+      }
+    }
+    NOMSKY_RETURN_NOT_OK(
+        schema.AddNominal(std::move(name), std::move(dictionary)));
+  }
+  return schema;
+}
+
+}  // namespace nomsky

@@ -1,0 +1,134 @@
+// Binary serialization primitives shared by every persistent format in the
+// tree (IPO-tree files, shard images): little-endian fixed-width PODs,
+// length-prefixed strings and POD vectors, and a magic/version header
+// convention. Generalized from the idiom src/core/ipo_serialize.cc proved
+// out, so new formats stop re-rolling WritePod/ReadPod by hand.
+//
+// Error model: writers are fire-and-forget — call ok() once at the end
+// (stream state is sticky). Readers return false on short reads and on
+// sanity-limit violations; every count read from disk is bounded by a
+// caller-supplied maximum so a corrupt length prefix cannot trigger a
+// multi-gigabyte allocation before the truncation is noticed.
+
+#ifndef NOMSKY_COMMON_SERIALIZE_H_
+#define NOMSKY_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+
+namespace nomsky {
+
+/// \brief Little-endian fixed-width writer over any std::ostream.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  /// \brief Magic tag + format version, the uniform file header.
+  void Magic(const char magic[4], uint32_t version) {
+    out_->write(magic, 4);
+    Pod(version);
+  }
+
+  template <typename T>
+  void Pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void Bytes(const void* data, size_t n) {
+    if (n == 0) return;  // empty vectors may hand over a null base pointer
+    out_->write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(n));
+  }
+
+  /// \brief u32 length + raw bytes.
+  void String(const std::string& s) {
+    Pod<uint32_t>(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+  /// \brief u64 count + raw elements.
+  template <typename T>
+  void PodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(v.size());
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// \brief Little-endian fixed-width reader over any std::istream.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  /// \brief Verifies the 4-byte magic tag and reads the version. Returns
+  /// false on a short read or a tag mismatch; version bounds are the
+  /// caller's to check (a newer version is a valid file we cannot parse —
+  /// callers should distinguish that in their error message).
+  bool Magic(const char magic[4], uint32_t* version) {
+    char tag[4];
+    if (!Bytes(tag, 4) || std::memcmp(tag, magic, 4) != 0) return false;
+    return Pod(version);
+  }
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_->read(reinterpret_cast<char*>(value), sizeof(T));
+    return in_->good();
+  }
+
+  bool Bytes(void* data, size_t n) {
+    if (n == 0) return !in_->bad();
+    in_->read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(n));
+    return in_->good();
+  }
+
+  bool String(std::string* s, uint32_t max_len) {
+    uint32_t len = 0;
+    if (!Pod(&len) || len > max_len) return false;
+    s->resize(len);
+    return Bytes(s->data(), len);
+  }
+
+  /// \brief Rejects counts above `sanity_max` before allocating.
+  template <typename T>
+  bool PodVector(std::vector<T>* v, uint64_t sanity_max) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Pod(&count) || count > sanity_max) return false;
+    v->resize(count);
+    return Bytes(v->data(), count * sizeof(T));
+  }
+
+  bool ok() const { return in_->good(); }
+
+ private:
+  std::istream* in_;
+};
+
+/// \brief Serializes a schema: dimension kinds, numeric orientations, names
+/// and full nominal dictionaries — everything needed to rebuild the typed
+/// layout and value encoding with zero out-of-band knowledge.
+void WriteSchema(BinaryWriter& writer, const Schema& schema);
+
+/// \brief Rebuilds a schema written by WriteSchema. Fails with
+/// InvalidArgument on truncated or malformed input.
+Result<Schema> ReadSchema(BinaryReader& reader);
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_COMMON_SERIALIZE_H_

@@ -11,10 +11,15 @@
 //          count u64 + row ids u32[]; the tree SHAPE is a pure function of
 //          the allowed-value lists, so no structural metadata is stored.
 //   build stats: num_nodes u64, total_disqualified u64, mdc_conditions u64
+//
+// Primitive encoding rides on common/serialize.h (u32 vectors are
+// BinaryWriter::PodVector: u64 count + raw elements), which this format
+// originated — the layout predates the shared serializer and is pinned
+// byte-identical by tests/ipo_serialize_test.cc.
 
-#include <cstring>
 #include <fstream>
 
+#include "common/serialize.h"
 #include "core/ipo_tree.h"
 
 namespace nomsky {
@@ -24,33 +29,6 @@ namespace {
 constexpr char kMagic[4] = {'N', 'I', 'P', 'O'};
 constexpr uint32_t kVersion = 1;
 
-template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
-
-void WriteU32Vector(std::ofstream& out, const std::vector<uint32_t>& v) {
-  WritePod<uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
-}
-
-bool ReadU32Vector(std::ifstream& in, std::vector<uint32_t>* v,
-                   uint64_t sanity_max) {
-  uint64_t count = 0;
-  if (!ReadPod(in, &count) || count > sanity_max) return false;
-  v->resize(count);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(count * sizeof(uint32_t)));
-  return in.good() || (count == 0 && !in.bad());
-}
-
 }  // namespace
 
 Status IpoTreeEngine::Save(const std::string& path) const {
@@ -58,23 +36,23 @@ Status IpoTreeEngine::Save(const std::string& path) const {
   if (!out.is_open()) {
     return Status::Internal("cannot open '", path, "' for writing");
   }
-  out.write(kMagic, 4);
-  WritePod(out, kVersion);
+  BinaryWriter writer(out);
+  writer.Magic(kMagic, kVersion);
 
   const Schema& schema = data_->schema();
-  WritePod<uint64_t>(out, data_->num_rows());
-  WritePod<uint32_t>(out, static_cast<uint32_t>(schema.num_nominal()));
+  writer.Pod<uint64_t>(data_->num_rows());
+  writer.Pod<uint32_t>(static_cast<uint32_t>(schema.num_nominal()));
   for (DimId d : schema.nominal_dims()) {
-    WritePod<uint32_t>(out, static_cast<uint32_t>(schema.dim(d).cardinality()));
+    writer.Pod<uint32_t>(static_cast<uint32_t>(schema.dim(d).cardinality()));
   }
   for (size_t j = 0; j < schema.num_nominal(); ++j) {
-    WriteU32Vector(out, template_->pref(j).choices());
+    writer.PodVector(template_->pref(j).choices());
   }
-  WritePod<uint8_t>(out, options_.use_bitmaps ? 1 : 0);
-  WritePod<uint64_t>(out, options_.max_values_per_dim);
+  writer.Pod<uint8_t>(options_.use_bitmaps ? 1 : 0);
+  writer.Pod<uint64_t>(options_.max_values_per_dim);
 
-  WriteU32Vector(out, skyline_);
-  for (const auto& values : allowed_) WriteU32Vector(out, values);
+  writer.PodVector(skyline_);
+  for (const auto& values : allowed_) writer.PodVector(values);
 
   // Disqualified sets in the same recursion order as BuildSubtree.
   auto write_node = [&](auto&& self, const Node& node) -> void {
@@ -89,17 +67,17 @@ Status IpoTreeEngine::Save(const std::string& path) const {
       } else {
         rows = child->a_rows;
       }
-      WriteU32Vector(out, rows);
+      writer.PodVector(rows);
       self(self, *child);
     }
   };
   write_node(write_node, *root_);
 
-  WritePod<uint64_t>(out, build_stats_.num_nodes);
-  WritePod<uint64_t>(out, build_stats_.total_disqualified);
-  WritePod<uint64_t>(out, build_stats_.mdc_conditions);
+  writer.Pod<uint64_t>(build_stats_.num_nodes);
+  writer.Pod<uint64_t>(build_stats_.total_disqualified);
+  writer.Pod<uint64_t>(build_stats_.mdc_conditions);
   out.flush();
-  if (!out.good()) return Status::Internal("write to '", path, "' failed");
+  if (!writer.ok()) return Status::Internal("write to '", path, "' failed");
   return Status::OK();
 }
 
@@ -116,33 +94,31 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("cannot open '", path, "'");
+  BinaryReader reader(in);
 
-  char magic[4];
-  in.read(magic, 4);
   uint32_t version = 0;
-  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0 ||
-      !ReadPod(in, &version) || version != kVersion) {
+  if (!reader.Magic(kMagic, &version) || version != kVersion) {
     return Status::InvalidArgument("'", path, "' is not an IPO-tree file");
   }
 
   const Schema& schema = data.schema();
   uint64_t num_rows = 0;
   uint32_t num_nominal = 0;
-  if (!ReadPod(in, &num_rows) || !ReadPod(in, &num_nominal) ||
+  if (!reader.Pod(&num_rows) || !reader.Pod(&num_nominal) ||
       num_rows != data.num_rows() || num_nominal != schema.num_nominal()) {
     return Status::InvalidArgument("'", path,
                                    "' was built over a different dataset");
   }
   for (DimId d : schema.nominal_dims()) {
     uint32_t c = 0;
-    if (!ReadPod(in, &c) || c != schema.dim(d).cardinality()) {
+    if (!reader.Pod(&c) || c != schema.dim(d).cardinality()) {
       return Status::InvalidArgument("'", path,
                                      "' has mismatched nominal cardinalities");
     }
   }
   for (size_t j = 0; j < schema.num_nominal(); ++j) {
     std::vector<uint32_t> choices;
-    if (!ReadU32Vector(in, &choices, 1 << 20) ||
+    if (!reader.PodVector(&choices, 1 << 20) ||
         choices != tmpl.pref(j).choices()) {
       return Status::InvalidArgument("'", path,
                                      "' was built with a different template");
@@ -150,7 +126,7 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
   }
   uint8_t use_bitmaps = 0;
   uint64_t max_values = 0;
-  if (!ReadPod(in, &use_bitmaps) || !ReadPod(in, &max_values)) {
+  if (!reader.Pod(&use_bitmaps) || !reader.Pod(&max_values)) {
     return Status::InvalidArgument("'", path, "' truncated (options)");
   }
 
@@ -160,7 +136,7 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
   auto engine = std::unique_ptr<IpoTreeEngine>(
       new IpoTreeEngine(data, tmpl, options, LoadTag{}));
 
-  if (!ReadU32Vector(in, &engine->skyline_, num_rows)) {
+  if (!reader.PodVector(&engine->skyline_, num_rows)) {
     return Status::InvalidArgument("'", path, "' truncated (skyline)");
   }
   engine->row_to_pos_.assign(data.num_rows(), 0);
@@ -175,7 +151,7 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
   engine->allowed_slot_.resize(num_nominal);
   for (size_t j = 0; j < num_nominal; ++j) {
     size_t c = schema.dim(schema.nominal_dims()[j]).cardinality();
-    if (!ReadU32Vector(in, &engine->allowed_[j], c)) {
+    if (!reader.PodVector(&engine->allowed_[j], c)) {
       return Status::InvalidArgument("'", path, "' truncated (allowed)");
     }
     engine->allowed_slot_[j].assign(c, -1);
@@ -201,7 +177,7 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
     for (size_t k = 0; k < node->children.size(); ++k) {
       auto child = std::make_unique<Node>();
       std::vector<uint32_t> rows;
-      if (!ReadU32Vector(in, &rows, engine->skyline_.size())) {
+      if (!reader.PodVector(&rows, engine->skyline_.size())) {
         read_error = Status::InvalidArgument("'", path, "' truncated (nodes)");
         return;
       }
@@ -226,8 +202,8 @@ Result<std::unique_ptr<IpoTreeEngine>> IpoTreeEngine::Load(
   NOMSKY_RETURN_NOT_OK(read_error);
 
   uint64_t num_nodes = 0, total_disq = 0, mdc_conds = 0;
-  if (!ReadPod(in, &num_nodes) || !ReadPod(in, &total_disq) ||
-      !ReadPod(in, &mdc_conds)) {
+  if (!reader.Pod(&num_nodes) || !reader.Pod(&total_disq) ||
+      !reader.Pod(&mdc_conds)) {
     return Status::InvalidArgument("'", path, "' truncated (stats)");
   }
   engine->build_stats_.num_nodes = num_nodes;

@@ -1,6 +1,7 @@
 #include "dominance/kernel.h"
 
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace nomsky {
 
@@ -73,6 +74,26 @@ CompiledGeneralProfile::CompiledGeneralProfile(
       }
     }
   }
+}
+
+void PackedBlock::WriteTo(BinaryWriter& writer) const {
+  writer.Pod<uint64_t>(stride_);
+  writer.PodVector(ids_);
+  writer.Bytes(buf_.data(), ids_.size() * stride_ * sizeof(uint64_t));
+}
+
+bool PackedBlock::ReadFrom(BinaryReader& reader, uint64_t max_rows,
+                           size_t expected_stride) {
+  uint64_t stride = 0;
+  if (!reader.Pod(&stride)) return false;
+  if (expected_stride != 0 && stride != expected_stride) return false;
+  // A zero or absurd stride would defeat the row-count sanity bound below.
+  if (stride == 0 || stride > (1u << 16)) return false;
+  if (!reader.PodVector(&ids_, max_rows)) return false;
+  stride_ = static_cast<size_t>(stride);
+  const size_t slots = ids_.size() * stride_;
+  buf_.EnsureCapacity(slots, 0);
+  return reader.Bytes(buf_.data(), slots * sizeof(uint64_t));
 }
 
 }  // namespace nomsky

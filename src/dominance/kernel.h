@@ -50,6 +50,9 @@
 
 namespace nomsky {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// \brief Cache-line-aligned storage for packed rows. std::vector only
 /// guarantees 16-byte alignment; packed rows are padded to 64-byte strides
 /// and want their base on a line boundary so one row is one line fetch.
@@ -129,6 +132,23 @@ class CompiledProfile {
     uint64_t* nom = dest + num_numeric_;
     for (size_t j = 0; j < num_nominal_; ++j) {
       const ValueId v = data.nominal_column(j)[r];
+      nom[j] = (static_cast<uint64_t>(ranks_[rank_offset_[j] + v]) << 32) | v;
+    }
+  }
+
+  /// \brief Re-derives a packed row under THIS profile from a row packed
+  /// under any other CompiledProfile of the same schema. Numeric slots are
+  /// profile-independent (signs come from the schema's fixed orientations,
+  /// never the query), and a nominal slot's low 32 bits hold the raw
+  /// ValueId — so only the nominal rank words need recomputing. This is
+  /// what lets shard images store packed rows once and serve every query:
+  /// loads skip the Dataset entirely.
+  void RepackRow(const uint64_t* src, uint64_t* dest) const {
+    std::memcpy(dest, src, num_numeric_ * sizeof(uint64_t));
+    const uint64_t* src_nom = src + num_numeric_;
+    uint64_t* nom = dest + num_numeric_;
+    for (size_t j = 0; j < num_nominal_; ++j) {
+      const ValueId v = static_cast<ValueId>(src_nom[j]);
       nom[j] = (static_cast<uint64_t>(ranks_[rank_offset_[j] + v]) << 32) | v;
     }
   }
@@ -267,6 +287,32 @@ class PackedBlock {
             const std::vector<RowId>& ids) {
     Pack(profile, data, ids.data(), ids.size());
   }
+
+  /// \brief Packs every row of `data` in order (ids 0..n-1). Shard images
+  /// store whole shards, so the identity id map is the common case.
+  template <typename Profile>
+  void PackAll(const Profile& profile, const Dataset& data) {
+    const size_t n = data.num_rows();
+    stride_ = profile.row_slots();
+    ids_.resize(n);
+    buf_.EnsureCapacity(n * stride_, 0);
+    uint64_t* dest = buf_.data();
+    for (size_t i = 0; i < n; ++i, dest += stride_) {
+      ids_[i] = static_cast<RowId>(i);
+      profile.PackRow(data, static_cast<RowId>(i), dest);
+    }
+  }
+
+  /// \brief Serializes stride, row ids and raw slots. Meaningful only for
+  /// blocks packed under a profile-independent (neutral) compilation — the
+  /// writer persists the bytes as-is.
+  void WriteTo(BinaryWriter& writer) const;
+
+  /// \brief Reads a block written by WriteTo. Rejects more than `max_rows`
+  /// rows and, when `expected_stride` is non-zero, any other stride.
+  /// Returns false on truncated or malformed input.
+  bool ReadFrom(BinaryReader& reader, uint64_t max_rows,
+                size_t expected_stride);
 
   size_t size() const { return ids_.size(); }
   size_t stride() const { return stride_; }

@@ -74,9 +74,9 @@ void RegisterBuiltins(EngineRegistry* registry) {
       }));
   must(registry->Register(
       "sharded",
-      "partitioned dataset, one engine per shard + skyline merge; "
-      "sharded:<inner> picks the per-shard engine (default sfsd), "
-      "--shards=K the shard count",
+      "epoch-swapped per-shard snapshots + skyline merge; sharded:<inner> "
+      "picks the per-shard engine (default sfsd), --shards=K the shard "
+      "count, --load-shards reuses a saved shard image",
       [](const Dataset& data, const PreferenceProfile& tmpl,
          const EngineOptions& options)
           -> Result<std::unique_ptr<SkylineEngine>> {

@@ -59,6 +59,11 @@ struct EngineOptions {
   size_t data_shards = 0;
   /// Row-placement policy of the sharded path.
   ShardPolicy shard_policy = ShardPolicy::kHash;
+  /// When non-empty, the sharded path loads this shard image
+  /// (exec/shard_image.h) instead of partitioning + packing the dataset;
+  /// the image must match the dataset's schema and row count. Ignored by
+  /// non-sharded engines.
+  std::string shard_image_path;
   /// Rows below which AutoEngine never routes to the sharded path even
   /// when data_shards > 1 (fan-out + merge overhead dominates small data).
   size_t sharded_min_rows = kDefaultShardedMinRows;

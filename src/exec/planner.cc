@@ -131,6 +131,8 @@ AutoEngine::AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
   if (options.data_shards > 1) {
     // The planner only emits "sharded" under the same condition, so a
     // failure here (bad shard count is the only way) must not be silent.
+    // `options` passes through whole, so a shard_image_path set by the
+    // caller arms the pre-packed image load on this route too.
     auto sharded = ShardedEngine::Create("sfsd", data, tmpl, options);
     NOMSKY_CHECK(sharded.ok()) << sharded.status().ToString();
     sharded_ = std::move(sharded).ValueOrDie();

@@ -1,0 +1,171 @@
+#include "exec/shard_image.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace nomsky {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'S', 'H', 'I'};
+constexpr char kFooter[4] = {'I', 'H', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+
+// Sanity bounds: an image cannot have more shards or rows than these, so a
+// corrupt count fails before any large allocation.
+constexpr uint32_t kMaxShards = 1u << 20;
+constexpr uint64_t kMaxRows = 1ull << 40;
+
+}  // namespace
+
+Status ShardImage::Save(const std::string& path, const Schema& schema,
+                        ShardPolicy policy, uint64_t source_rows,
+                        const std::vector<ShardRef>& shards) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '", path, "' for writing");
+  }
+  BinaryWriter writer(out);
+  writer.Magic(kMagic, kVersion);
+  WriteSchema(writer, schema);
+  writer.Pod<uint8_t>(policy == ShardPolicy::kRange ? 1 : 0);
+  writer.Pod<uint32_t>(static_cast<uint32_t>(shards.size()));
+  writer.Pod<uint64_t>(source_rows);
+
+  // The neutral compilation: empty profile, so the packed bytes are a pure
+  // function of schema + rows — what any query repacks from.
+  const CompiledProfile neutral(schema, PreferenceProfile(schema));
+  PackedBlock scratch;
+  for (const ShardRef& shard : shards) {
+    writer.PodVector(*shard.global_rows);
+    const PackedBlock* block = shard.packed;
+    if (block == nullptr || block->size() != shard.data->num_rows() ||
+        block->stride() != neutral.row_slots()) {
+      scratch.PackAll(neutral, *shard.data);
+      block = &scratch;
+    }
+    block->WriteTo(writer);
+  }
+  writer.Bytes(kFooter, 4);
+  out.flush();
+  if (!writer.ok()) return Status::Internal("write to '", path, "' failed");
+  return Status::OK();
+}
+
+Result<ShardImage> ShardImage::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open '", path, "'");
+  BinaryReader reader(in);
+
+  uint32_t version = 0;
+  if (!reader.Magic(kMagic, &version)) {
+    return Status::InvalidArgument("'", path, "' is not a shard image");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("'", path, "' has shard image version ",
+                                   version, "; this build reads version ",
+                                   kVersion);
+  }
+
+  ShardImage image;
+  NOMSKY_ASSIGN_OR_RETURN(image.schema, ReadSchema(reader));
+  uint8_t policy = 0;
+  uint32_t num_shards = 0;
+  if (!reader.Pod(&policy) || policy > 1 || !reader.Pod(&num_shards) ||
+      num_shards == 0 || num_shards > kMaxShards ||
+      !reader.Pod(&image.source_rows) || image.source_rows > kMaxRows) {
+    return Status::InvalidArgument("'", path, "' has a corrupt header");
+  }
+  image.policy = policy == 1 ? ShardPolicy::kRange : ShardPolicy::kHash;
+
+  const Schema& schema = image.schema;
+  const CompiledProfile neutral(schema, PreferenceProfile(schema));
+  const size_t stride = neutral.row_slots();
+  const size_t num_numeric = schema.num_numeric();
+  const size_t num_nominal = schema.num_nominal();
+
+  image.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Shard shard(schema);
+    if (!reader.PodVector(&shard.global_rows, image.source_rows)) {
+      return Status::InvalidArgument("'", path, "' truncated (shard ", s,
+                                     " row map)");
+    }
+    for (RowId g : shard.global_rows) {
+      if (g >= image.source_rows) {
+        return Status::InvalidArgument("'", path, "' shard ", s,
+                                       " maps to out-of-range global row ", g);
+      }
+    }
+    if (!shard.packed.ReadFrom(reader, image.source_rows, stride) ||
+        shard.packed.size() != shard.global_rows.size()) {
+      return Status::InvalidArgument("'", path, "' truncated (shard ", s,
+                                     " packed rows)");
+    }
+    const size_t rows = shard.packed.size();
+    for (size_t i = 0; i < rows; ++i) {
+      if (shard.packed.row_id(i) != i) {
+        return Status::InvalidArgument("'", path, "' shard ", s,
+                                       " packed ids are not the identity");
+      }
+    }
+
+    // Transpose the packed rows back into column storage. Both decodes are
+    // exact inversions of the neutral pack: sign ∈ {±1} so sign*(sign*x)
+    // == x bit-for-bit, and the low 32 bits are the stored ValueId.
+    std::vector<std::vector<double>> numeric(num_numeric);
+    std::vector<std::vector<ValueId>> nominal(num_nominal);
+    for (auto& c : numeric) c.reserve(rows);
+    for (auto& c : nominal) c.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      const uint64_t* row = shard.packed.row(i);
+      for (size_t d = 0; d < num_numeric; ++d) {
+        numeric[d].push_back(neutral.numeric_sign(d) *
+                             std::bit_cast<double>(row[d]));
+      }
+      for (size_t j = 0; j < num_nominal; ++j) {
+        const uint64_t slot = row[num_numeric + j];
+        // Neutral packs carry the unlisted rank in every high word; any
+        // other value means the block was not packed under the empty
+        // profile (or the bytes are corrupt).
+        if (static_cast<uint32_t>(slot >> 32) !=
+            CompiledProfile::kUnlistedRank) {
+          return Status::InvalidArgument("'", path, "' shard ", s,
+                                         " is not neutral-packed");
+        }
+        nominal[j].push_back(static_cast<ValueId>(slot));
+      }
+    }
+    auto data = Dataset::FromColumns(schema, std::move(numeric),
+                                     std::move(nominal));
+    if (!data.ok()) {
+      return Status::InvalidArgument("'", path, "' shard ", s,
+                                     " has invalid rows: ",
+                                     data.status().message());
+    }
+    shard.data = std::move(data).ValueOrDie();
+    image.shards.push_back(std::move(shard));
+  }
+
+  char footer[4];
+  if (!reader.Bytes(footer, 4) || std::memcmp(footer, kFooter, 4) != 0) {
+    return Status::InvalidArgument("'", path, "' is truncated (no footer)");
+  }
+  return image;
+}
+
+size_t ShardImage::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards) {
+    bytes += shard.data.MemoryUsage();
+    bytes += shard.global_rows.capacity() * sizeof(RowId);
+    bytes += shard.packed.MemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace nomsky

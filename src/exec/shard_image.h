@@ -1,0 +1,91 @@
+// ShardImage: the immutable serialized form of a partitioned dataset —
+// the unit the serving stack builds, ships and swaps.
+//
+// The image stores each shard's rows ALREADY in the dominance kernel's
+// packed layout (dominance/kernel.h): 64-byte-stride rows of 8-byte slots,
+// numeric doubles sign-folded under the schema's fixed orientations,
+// nominal slots carrying (rank << 32) | value compiled under the EMPTY
+// profile — the "neutral pack". Two properties make that a valid on-disk
+// format rather than a per-query cache:
+//
+//   * Numeric slots are query-independent outright: signs come from the
+//     schema (SortDirection), never from a preference, so the stored
+//     bit pattern is exactly what ANY query's CompiledProfile would pack.
+//   * A nominal slot's low 32 bits hold the raw ValueId; a query only
+//     changes the high rank word, which CompiledProfile::RepackRow
+//     recomputes from the low bits in one table lookup per dimension.
+//
+// So a load never runs PackRow against column storage, and the column
+// Datasets themselves are rebuilt by transposing the packed rows back out
+// (double = sign * bit_cast<double>(slot), ValueId = low 32 bits — both
+// exact inversions).
+//
+// Layout (little-endian, fixed-width, magic "NSHI" version 1):
+//   header: magic "NSHI", version u32
+//   schema: WriteSchema (kinds, directions, names, full dictionaries)
+//   policy u8, num_shards u32, source_rows u64
+//   per shard: global_rows (u64 count + u32[]),
+//              packed block (stride u64, ids u64 count + u32[], raw slots)
+//   footer: magic "IHSN" — a cheap whole-file truncation check
+//
+// Every count is bounds-checked against the header before allocation, and
+// every decoded ValueId is validated against its dimension's cardinality.
+
+#ifndef NOMSKY_EXEC_SHARD_IMAGE_H_
+#define NOMSKY_EXEC_SHARD_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "dominance/kernel.h"
+#include "exec/sharded_dataset.h"
+
+namespace nomsky {
+
+/// \brief An immutable, fully materialized partitioned dataset: per shard,
+/// the column rows, the local→global id map, and the neutral-packed block.
+struct ShardImage {
+  struct Shard {
+    Dataset data;
+    std::vector<RowId> global_rows;
+    PackedBlock packed;  // neutral pack, identity ids (row i is local id i)
+
+    explicit Shard(Schema schema) : data(std::move(schema)) {}
+  };
+
+  Schema schema;
+  ShardPolicy policy = ShardPolicy::kHash;
+  uint64_t source_rows = 0;
+  std::vector<Shard> shards;
+
+  /// \brief One shard's save-side view; `packed` may be null, in which
+  /// case Save neutral-packs `data` itself.
+  struct ShardRef {
+    const Dataset* data = nullptr;
+    const std::vector<RowId>* global_rows = nullptr;
+    const PackedBlock* packed = nullptr;
+  };
+
+  /// \brief Writes an image file. `source_rows` is the row count of the
+  /// original unpartitioned table (the bound global ids are checked
+  /// against on load).
+  static Status Save(const std::string& path, const Schema& schema,
+                     ShardPolicy policy, uint64_t source_rows,
+                     const std::vector<ShardRef>& shards);
+
+  /// \brief Reads and fully validates an image file: header, per-shard
+  /// stride, id bounds, value bounds, footer. NotFound when the file
+  /// cannot be opened; InvalidArgument on any corruption.
+  static Result<ShardImage> Load(const std::string& path);
+
+  size_t num_shards() const { return shards.size(); }
+
+  /// \brief Heap footprint of columns, id maps and packed blocks.
+  size_t MemoryUsage() const;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_SHARD_IMAGE_H_

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/dataset.h"
@@ -74,6 +75,15 @@ class ShardedDataset {
   /// \brief Translates a shard-local row id back to the source table.
   RowId ToGlobal(size_t s, RowId local) const {
     return shards_[s].global_rows[local];
+  }
+
+  /// \brief Moves the s-th shard's row store and global-id map out,
+  /// leaving that shard empty. The release seam for layers (epoch
+  /// snapshots) that want each shard to OWN its rows instead of borrowing
+  /// the partition — after taking every shard, the ShardedDataset and its
+  /// source can both be dropped.
+  std::pair<Dataset, std::vector<RowId>> TakeShard(size_t s) {
+    return {std::move(shards_[s].data), std::move(shards_[s].global_rows)};
   }
 
   /// \brief Wall seconds the Partition call spent.

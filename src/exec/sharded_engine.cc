@@ -8,18 +8,24 @@
 
 namespace nomsky {
 
-ShardedEngine::ShardedEngine(ShardedDataset sharded,
-                             const PreferenceProfile& tmpl,
-                             std::string inner_name)
-    : sharded_(std::move(sharded)),
-      template_(&tmpl),
-      inner_name_(std::move(inner_name)),
-      name_("Sharded(" + inner_name_ + " x" +
-            std::to_string(sharded_.num_shards()) + ")") {}
+namespace {
 
-Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
-    const std::string& inner_name, const Dataset& data,
-    const PreferenceProfile& tmpl, const EngineOptions& options) {
+// Structural schema equality: an image or replacement shard is only
+// adoptable when every dimension matches in name, kind, orientation and
+// dictionary (the dictionary fixes the ValueId encoding).
+bool SameSchema(const Schema& a, const Schema& b) {
+  if (a.num_dims() != b.num_dims()) return false;
+  for (DimId d = 0; d < a.num_dims(); ++d) {
+    const Dimension& x = a.dim(d);
+    const Dimension& y = b.dim(d);
+    if (x.kind() != y.kind() || x.name() != y.name()) return false;
+    if (x.is_numeric() && x.direction() != y.direction()) return false;
+    if (x.is_nominal() && x.dictionary() != y.dictionary()) return false;
+  }
+  return true;
+}
+
+Status ValidateInnerName(const std::string& inner_name) {
   if (inner_name.rfind("sharded", 0) == 0) {
     return Status::InvalidArgument(
         "sharded engines cannot nest; inner engine '", inner_name,
@@ -28,6 +34,71 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
   if (!EngineRegistry::Global().Contains(inner_name)) {
     return Status::InvalidArgument(
         "unknown inner engine '", inner_name, "' for sharded:<inner>");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(Schema schema, ShardPolicy policy,
+                             uint64_t source_rows,
+                             const PreferenceProfile& tmpl,
+                             std::string inner_name, size_t num_shards,
+                             const EngineOptions& options)
+    : schema_(std::move(schema)),
+      policy_(policy),
+      source_rows_(source_rows),
+      template_(&tmpl),
+      pool_(options.pool),
+      inner_options_(options),
+      inner_name_(std::move(inner_name)),
+      name_("Sharded(" + inner_name_ + " x" + std::to_string(num_shards) +
+            ")"),
+      slots_(num_shards) {
+  // Inner engines must not re-shard their shard (they share the pool for
+  // their own internal parallel paths, nesting-safe per thread_pool.h),
+  // and must never themselves reach for the image file.
+  inner_options_.data_shards = 0;
+  inner_options_.shard_image_path.clear();
+}
+
+Status ShardedEngine::BuildSnapshot(ShardSnapshot* snap) const {
+  WallTimer timer;
+  const CompiledProfile neutral(schema_, PreferenceProfile(schema_));
+  // Image-adopted snapshots arrive with the neutral block already
+  // materialized from disk — the load-skips-PackRow path. Everything else
+  // (fresh partitions, rebuilds) packs here, off the serving path.
+  if (snap->packed.size() != snap->data.num_rows() ||
+      snap->packed.stride() != neutral.row_slots()) {
+    snap->packed.PackAll(neutral, snap->data);
+  }
+  NOMSKY_ASSIGN_OR_RETURN(
+      snap->engine, EngineRegistry::Global().Create(inner_name_, snap->data,
+                                                    *template_,
+                                                    inner_options_));
+  snap->build_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const std::string& inner_name, const Dataset& data,
+    const PreferenceProfile& tmpl, const EngineOptions& options) {
+  NOMSKY_RETURN_NOT_OK(ValidateInnerName(inner_name));
+
+  if (!options.shard_image_path.empty()) {
+    NOMSKY_ASSIGN_OR_RETURN(ShardImage image,
+                            ShardImage::Load(options.shard_image_path));
+    if (image.source_rows != data.num_rows()) {
+      return Status::InvalidArgument(
+          "shard image '", options.shard_image_path, "' covers ",
+          image.source_rows, " rows, dataset has ", data.num_rows());
+    }
+    if (!SameSchema(image.schema, data.schema())) {
+      return Status::InvalidArgument(
+          "shard image '", options.shard_image_path,
+          "' was built over a different schema");
+    }
+    return CreateFromImage(inner_name, std::move(image), tmpl, options);
   }
 
   WallTimer timer;
@@ -38,33 +109,116 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
   NOMSKY_ASSIGN_OR_RETURN(ShardedDataset sharded,
                           ShardedDataset::Partition(data, shard_options));
 
+  const size_t k = sharded.num_shards();
   auto engine = std::unique_ptr<ShardedEngine>(
-      new ShardedEngine(std::move(sharded), tmpl, inner_name));
-  engine->pool_ = options.pool;
+      new ShardedEngine(data.schema(), shard_options.policy, data.num_rows(),
+                        tmpl, inner_name, k, options));
+  engine->partition_seconds_ = sharded.partition_seconds();
 
-  // Inner engines must not re-shard their shard, and they share the pool
-  // for their own internal parallel paths (nesting-safe, see thread_pool.h).
-  EngineOptions inner_options = options;
-  inner_options.data_shards = 0;
-
-  const size_t k = engine->sharded_.num_shards();
-  engine->engines_.resize(k);
+  // Each snapshot takes ownership of its shard's rows; the partition (and
+  // the source, from this engine's point of view) is dropped afterwards.
+  std::vector<std::shared_ptr<ShardSnapshot>> snaps(k);
+  for (size_t s = 0; s < k; ++s) {
+    snaps[s] = std::make_shared<ShardSnapshot>(data.schema());
+    auto [shard_data, global_rows] = sharded.TakeShard(s);
+    snaps[s]->data = std::move(shard_data);
+    snaps[s]->global_rows = std::move(global_rows);
+  }
   std::vector<Status> statuses(k);
   ParallelFor(options.pool, k, [&](size_t s) {
-    auto built = EngineRegistry::Global().Create(
-        inner_name, engine->sharded_.shard(s), *engine->template_,
-        inner_options);
-    if (built.ok()) {
-      engine->engines_[s] = std::move(built).ValueOrDie();
-    } else {
-      statuses[s] = built.status();
-    }
+    statuses[s] = engine->BuildSnapshot(snaps[s].get());
   });
   for (const Status& status : statuses) {
     NOMSKY_RETURN_NOT_OK(status);
   }
+  for (size_t s = 0; s < k; ++s) {
+    engine->slots_[s].store(std::move(snaps[s]));
+  }
   engine->build_seconds_ = timer.ElapsedSeconds();
   return engine;
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::CreateFromImage(
+    const std::string& inner_name, ShardImage&& image,
+    const PreferenceProfile& tmpl, const EngineOptions& options) {
+  NOMSKY_RETURN_NOT_OK(ValidateInnerName(inner_name));
+  if (tmpl.num_nominal() != image.schema.num_nominal()) {
+    return Status::InvalidArgument(
+        "template arity does not match the shard image schema");
+  }
+
+  WallTimer timer;
+  const size_t k = image.num_shards();
+  auto engine = std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(image.schema, image.policy, image.source_rows, tmpl,
+                        inner_name, k, options));
+
+  std::vector<std::shared_ptr<ShardSnapshot>> snaps(k);
+  for (size_t s = 0; s < k; ++s) {
+    snaps[s] = std::make_shared<ShardSnapshot>(engine->schema_);
+    snaps[s]->data = std::move(image.shards[s].data);
+    snaps[s]->global_rows = std::move(image.shards[s].global_rows);
+    snaps[s]->packed = std::move(image.shards[s].packed);
+  }
+  std::vector<Status> statuses(k);
+  ParallelFor(options.pool, k, [&](size_t s) {
+    statuses[s] = engine->BuildSnapshot(snaps[s].get());
+  });
+  for (const Status& status : statuses) {
+    NOMSKY_RETURN_NOT_OK(status);
+  }
+  for (size_t s = 0; s < k; ++s) {
+    engine->slots_[s].store(std::move(snaps[s]));
+  }
+  engine->build_seconds_ = timer.ElapsedSeconds();
+  return engine;
+}
+
+Status ShardedEngine::SaveImage(const std::string& path) const {
+  const size_t k = slots_.size();
+  std::vector<std::shared_ptr<const ShardSnapshot>> snaps(k);
+  std::vector<ShardImage::ShardRef> refs(k);
+  for (size_t s = 0; s < k; ++s) {
+    snaps[s] = snapshot(s);
+    refs[s] = ShardImage::ShardRef{&snaps[s]->data, &snaps[s]->global_rows,
+                                   &snaps[s]->packed};
+  }
+  return ShardImage::Save(path, schema_, policy_, source_rows_, refs);
+}
+
+Status ShardedEngine::RebuildShard(size_t s, Dataset rows,
+                                   std::vector<RowId> global_rows) {
+  if (s >= slots_.size()) {
+    return Status::OutOfRange("shard ", s, " out of range (engine has ",
+                              slots_.size(), " shards)");
+  }
+  if (!SameSchema(rows.schema(), schema_)) {
+    return Status::InvalidArgument(
+        "replacement rows for shard ", s, " have a different schema");
+  }
+  if (rows.num_rows() != global_rows.size()) {
+    return Status::InvalidArgument(
+        "shard ", s, ": ", rows.num_rows(), " rows but ", global_rows.size(),
+        " global ids");
+  }
+  for (RowId g : global_rows) {
+    if (g >= source_rows_) {
+      return Status::OutOfRange("shard ", s, ": global row id ", g,
+                                " outside the source bound ", source_rows_);
+    }
+  }
+  auto snap = std::make_shared<ShardSnapshot>(schema_);
+  snap->data = std::move(rows);
+  snap->global_rows = std::move(global_rows);
+
+  // Pack + build OFF-LINE under the writer mutex: concurrent readers keep
+  // serving the published snapshot the whole time; the store below is the
+  // only point where new queries start seeing the new epoch.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  snap->epoch = slots_[s].load()->epoch + 1;
+  NOMSKY_RETURN_NOT_OK(BuildSnapshot(snap.get()));
+  slots_[s].store(std::move(snap));
+  return Status::OK();
 }
 
 Result<std::vector<RowId>> ShardedEngine::Query(
@@ -72,47 +226,57 @@ Result<std::vector<RowId>> ShardedEngine::Query(
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
 
-  // Fan-out: every shard engine answers the same query independently;
-  // shard-local row ids are translated back to the source table.
-  const size_t k = engines_.size();
+  // Acquire every shard's snapshot ONCE up front: the query runs against a
+  // consistent set of pinned snapshots even if a writer publishes new
+  // epochs mid-flight (per-shard consistency; the fan-out never mixes two
+  // epochs of the same shard).
+  const size_t k = slots_.size();
+  std::vector<std::shared_ptr<const ShardSnapshot>> snaps(k);
+  for (size_t s = 0; s < k; ++s) snaps[s] = snapshot(s);
+
+  // Fan-out: every shard engine answers the same query independently.
+  // Results stay shard-LOCAL; the merge maps them to global ids itself.
   std::vector<std::vector<RowId>> locals(k);
   std::vector<Status> statuses(k);
   ParallelFor(pool_, k, [&](size_t s) {
-    Result<std::vector<RowId>> rows = engines_[s]->Query(query);
-    if (!rows.ok()) {
+    Result<std::vector<RowId>> rows = snaps[s]->engine->Query(query);
+    if (rows.ok()) {
+      locals[s] = std::move(rows).ValueOrDie();
+    } else {
       statuses[s] = rows.status();
-      return;
     }
-    std::vector<RowId>& mine = locals[s];
-    mine = std::move(rows).ValueOrDie();
-    for (RowId& r : mine) r = sharded_.ToGlobal(s, r);
   });
   for (const Status& status : statuses) {
     NOMSKY_RETURN_NOT_OK(status);
   }
 
   // Merge: the union of per-shard skylines is a lossless candidate set
-  // (see header); one extraction over the SOURCE table removes the points
+  // (see header); one extraction over the snapshots' own rows — packing
+  // candidates straight from their neutral blocks — removes the points
   // only another shard can dominate.
   size_t candidates = 0;
-  for (const auto& local : locals) candidates += local.size();
-  std::vector<RowId> skyline =
-      MergeLocalSkylines(sharded_.source(), effective, locals);
+  std::vector<ShardSpan> spans(k);
+  for (size_t s = 0; s < k; ++s) {
+    candidates += locals[s].size();
+    spans[s] = ShardSpan{&snaps[s]->data, &snaps[s]->packed, &locals[s],
+                         &snaps[s]->global_rows};
+  }
+  std::vector<RowId> skyline = MergeShardSkylines(effective, spans);
   last_merge_candidates_.store(candidates, std::memory_order_relaxed);
   last_merge_survivors_.store(skyline.size(), std::memory_order_relaxed);
   return skyline;
 }
 
 size_t ShardedEngine::MemoryUsage() const {
-  size_t bytes = sharded_.MemoryUsage();
-  for (const auto& engine : engines_) bytes += engine->MemoryUsage();
+  size_t bytes = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) bytes += snapshot(s)->MemoryUsage();
   return bytes;
 }
 
 double ShardedEngine::shard_build_seconds_total() const {
   double total = 0.0;
-  for (const auto& engine : engines_) {
-    total += engine->preprocessing_seconds();
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    total += snapshot(s)->build_seconds;
   }
   return total;
 }

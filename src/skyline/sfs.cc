@@ -82,6 +82,63 @@ std::vector<RowId> MergeLocalSkylines(
   return SfsSkyline(data, profile, merged, stats);
 }
 
+std::vector<RowId> MergeShardSkylines(const PreferenceProfile& profile,
+                                      const std::vector<ShardSpan>& spans,
+                                      SfsStats* stats) {
+  if (stats != nullptr) *stats = SfsStats{};
+  if (spans.empty()) return {};
+  const Schema& schema = spans.front().data->schema();
+  RankTable ranks(schema, profile);
+
+  // Union of the local skylines, scored from each shard's own rows. Sorting
+  // by (score, global id) reproduces exactly the order MergeLocalSkylines
+  // gets from ScoredRow over a shared source dataset.
+  struct Candidate {
+    double score;
+    RowId global;
+    uint32_t span;
+    RowId local;
+
+    bool operator<(const Candidate& o) const {
+      return score != o.score ? score < o.score : global < o.global;
+    }
+  };
+  std::vector<Candidate> merged;
+  size_t total = 0;
+  for (const ShardSpan& span : spans) total += span.local_skyline->size();
+  merged.reserve(total);
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const ShardSpan& span = spans[s];
+    for (RowId local : *span.local_skyline) {
+      merged.push_back(Candidate{ranks.Score(*span.data, local),
+                                 (*span.to_global)[local],
+                                 static_cast<uint32_t>(s), local});
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+
+  // One extraction pass; candidates pack from their own shard — via the
+  // neutral-packed bytes when the span carries them, else the columns.
+  CompiledProfile kernel(schema, profile);
+  std::vector<uint64_t> cand(kernel.row_slots());
+  uint64_t* const cp = cand.data();
+  PackedWindow window(kernel.row_slots());
+  SfsStats local_stats;
+  for (const Candidate& c : merged) {
+    const ShardSpan& span = spans[c.span];
+    if (span.packed != nullptr) {
+      kernel.RepackRow(span.packed->row(c.local), cp);
+    } else {
+      kernel.PackRow(*span.data, c.local, cp);
+    }
+    if (!WindowDominates(kernel, window, cp, &local_stats.dominance_tests)) {
+      window.Append(cp, c.global);
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return window.ids();
+}
+
 std::vector<RowId> ParallelSfsSkyline(const Dataset& data,
                                       const PreferenceProfile& profile,
                                       const std::vector<RowId>& candidates,

@@ -81,6 +81,32 @@ std::vector<RowId> MergeLocalSkylines(
     const Dataset& data, const PreferenceProfile& profile,
     const std::vector<std::vector<RowId>>& locals, SfsStats* stats = nullptr);
 
+/// \brief One shard's contribution to a cross-shard merge: its private row
+/// store, its local skyline (LOCAL row ids), the local→global id map, and
+/// optionally the shard's neutral-packed block (rows packed under the empty
+/// profile, identity ids). All pointers borrow; `packed` may be null.
+struct ShardSpan {
+  const Dataset* data = nullptr;
+  const PackedBlock* packed = nullptr;
+  const std::vector<RowId>* local_skyline = nullptr;
+  const std::vector<RowId>* to_global = nullptr;
+};
+
+/// \brief MergeLocalSkylines for shards that own PRIVATE datasets (each
+/// span's skyline ids index its own Dataset, not a shared source). Same
+/// partition-then-merge argument, but candidates are scored and packed from
+/// each shard's own rows, so the merge needs no global row store at all —
+/// this is what lets epoch snapshots drop the source dataset after
+/// partitioning. Candidates sort by (score, global id), the exact order
+/// MergeLocalSkylines derives from global ids over a shared source, so the
+/// emitted sequence is byte-identical to it on equivalent inputs. When a
+/// span carries a neutral-packed block, rows are re-ranked from the packed
+/// bytes (CompiledProfile::RepackRow) without touching the Dataset columns.
+/// Returns GLOBAL row ids in emission (score) order.
+std::vector<RowId> MergeShardSkylines(const PreferenceProfile& profile,
+                                      const std::vector<ShardSpan>& spans,
+                                      SfsStats* stats = nullptr);
+
 /// \brief Partition-then-merge SFS: candidates are split into `shards`
 /// slices, each slice's local skyline is extracted independently (on the
 /// pool when one is given), the presorted local skylines are merged, and a

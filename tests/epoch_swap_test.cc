@@ -1,0 +1,265 @@
+// Epoch-swapped shard publication: RebuildShard must bump the shard's
+// epoch, flip query answers to the new contents' ground truth, keep every
+// other shard untouched, and reject malformed replacements. The
+// concurrency gate at the bottom runs queries AGAINST an in-flight
+// rebuild storm: every answer must equal one of the two epochs' exact
+// skylines — never a torn mix — and the suite carries the "concurrency"
+// label so the ThreadSanitizer CI job races it for real.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// A shard replacement: the rows of `source` listed in `ids`, keeping the
+// source-table ids as the global map.
+std::pair<Dataset, std::vector<RowId>> SliceRows(
+    const Dataset& source, const std::vector<RowId>& ids) {
+  Dataset rows(source.schema());
+  EXPECT_TRUE(rows.AppendRowsFrom(source, ids).ok());
+  return {std::move(rows), ids};
+}
+
+// Ground truth over an arbitrary subset of the source table.
+std::vector<RowId> TruthOver(const Dataset& data,
+                             const PreferenceProfile& query,
+                             const PreferenceProfile& tmpl,
+                             std::vector<RowId> rows) {
+  auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+  DominanceComparator cmp(data, combined);
+  return Sorted(NaiveSkyline(cmp, rows));
+}
+
+struct SwapCase {
+  Dataset data;
+  PreferenceProfile tmpl;
+  PreferenceProfile query;
+};
+
+SwapCase MakeCase(uint64_t seed) {
+  gen::GenConfig config;
+  config.num_rows = 240;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 5;
+  config.seed = seed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng qrng(seed + 71);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &qrng);
+  return SwapCase{std::move(data), std::move(tmpl), std::move(query)};
+}
+
+TEST(EpochSwapTest, RebuildFlipsOneShardToTheNewGroundTruth) {
+  SwapCase c = MakeCase(11);
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 3;
+  auto created = ShardedEngine::Create("sfsd", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+
+  // The engine's answer must track the union of whatever its shards
+  // currently hold, so compute the truth from the snapshots themselves.
+  auto current_truth = [&] {
+    std::vector<RowId> rows;
+    for (size_t s = 0; s < engine->num_shards(); ++s) {
+      auto snap = engine->snapshot(s);
+      rows.insert(rows.end(), snap->global_rows.begin(),
+                  snap->global_rows.end());
+    }
+    return TruthOver(c.data, c.query, c.tmpl, std::move(rows));
+  };
+  ASSERT_EQ(Sorted(engine->Query(c.query).ValueOrDie()), current_truth());
+
+  // Replace shard 1 with the FIRST HALF of its rows: the epoch bumps,
+  // the answer flips to the shrunken table's truth, and the other shards'
+  // snapshots are exactly the objects published before the swap.
+  auto old0 = engine->snapshot(0);
+  auto old1 = engine->snapshot(1);
+  auto old2 = engine->snapshot(2);
+  std::vector<RowId> half(old1->global_rows.begin(),
+                          old1->global_rows.begin() +
+                              old1->global_rows.size() / 2);
+  auto [rows, ids] = SliceRows(c.data, half);
+  ASSERT_TRUE(
+      engine->RebuildShard(1, std::move(rows), std::move(ids)).ok());
+
+  EXPECT_EQ(engine->shard_epoch(0), 0u);
+  EXPECT_EQ(engine->shard_epoch(1), 1u);
+  EXPECT_EQ(engine->shard_epoch(2), 0u);
+  EXPECT_EQ(engine->snapshot(0).get(), old0.get());
+  EXPECT_NE(engine->snapshot(1).get(), old1.get());
+  EXPECT_EQ(engine->snapshot(2).get(), old2.get());
+  EXPECT_EQ(engine->snapshot(1)->global_rows, half);
+  EXPECT_EQ(Sorted(engine->Query(c.query).ValueOrDie()), current_truth());
+
+  // A second rebuild restores the full shard under epoch 2.
+  auto [rows2, ids2] = SliceRows(c.data, old1->global_rows);
+  ASSERT_TRUE(
+      engine->RebuildShard(1, std::move(rows2), std::move(ids2)).ok());
+  EXPECT_EQ(engine->shard_epoch(1), 2u);
+  EXPECT_EQ(Sorted(engine->Query(c.query).ValueOrDie()), current_truth());
+
+  // The old snapshot we still hold is untouched by the swaps.
+  EXPECT_EQ(old1->epoch, 0u);
+}
+
+TEST(EpochSwapTest, RejectsMalformedReplacements) {
+  SwapCase c = MakeCase(13);
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 2;
+  auto created = ShardedEngine::Create("asfs", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+
+  // Shard index out of range.
+  {
+    auto [rows, ids] = SliceRows(c.data, {0, 1, 2});
+    EXPECT_TRUE(engine->RebuildShard(2, std::move(rows), std::move(ids))
+                    .IsOutOfRange());
+  }
+  // One global id per row, no more, no fewer.
+  {
+    auto [rows, ids] = SliceRows(c.data, {0, 1, 2});
+    ids.pop_back();
+    EXPECT_TRUE(engine->RebuildShard(0, std::move(rows), std::move(ids))
+                    .IsInvalidArgument());
+  }
+  // Global ids must stay inside the source table's row-id domain.
+  {
+    auto [rows, ids] = SliceRows(c.data, {0, 1, 2});
+    ids.back() = static_cast<RowId>(engine->source_rows());
+    EXPECT_TRUE(engine->RebuildShard(0, std::move(rows), std::move(ids))
+                    .IsOutOfRange());
+  }
+  // Replacement rows must share the engine's schema.
+  {
+    gen::GenConfig other_config;
+    other_config.num_rows = 3;
+    other_config.num_numeric = 1;
+    other_config.num_nominal = 1;
+    other_config.cardinality = 3;
+    other_config.seed = 99;
+    Dataset other = gen::Generate(other_config);
+    EXPECT_TRUE(engine->RebuildShard(0, std::move(other), {0, 1, 2})
+                    .IsInvalidArgument());
+  }
+  // All rejections left the engine serving epoch 0 everywhere.
+  EXPECT_EQ(engine->shard_epoch(0), 0u);
+  EXPECT_EQ(engine->shard_epoch(1), 0u);
+  ASSERT_TRUE(engine->Query(c.query).ok());
+}
+
+// The reason the epoch design exists: queries racing a writer that flips
+// shard 0 between two row sets must ALWAYS see one of the two consistent
+// tables — contents A (the original) or contents B (shard 0 halved) —
+// never a blend. Run under TSan in CI via the "concurrency" label.
+TEST(EpochSwapConcurrencyTest, QueriesRacingRebuildsSeeExactlyOneEpoch) {
+  SwapCase c = MakeCase(17);
+  ThreadPool pool(4);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 4;
+  auto created = ShardedEngine::Create("sfsd", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+
+  // Rows of the two alternating states: all shards full (A) vs shard 0
+  // halved (B).
+  std::vector<RowId> rows_a, rows_b;
+  std::vector<RowId> shard0 = engine->snapshot(0)->global_rows;
+  std::vector<RowId> shard0_half(shard0.begin(),
+                                 shard0.begin() + shard0.size() / 2);
+  for (size_t s = 1; s < engine->num_shards(); ++s) {
+    auto snap = engine->snapshot(s);
+    rows_a.insert(rows_a.end(), snap->global_rows.begin(),
+                  snap->global_rows.end());
+  }
+  rows_b = rows_a;
+  rows_a.insert(rows_a.end(), shard0.begin(), shard0.end());
+  rows_b.insert(rows_b.end(), shard0_half.begin(), shard0_half.end());
+  const std::vector<RowId> truth_a =
+      TruthOver(c.data, c.query, c.tmpl, std::move(rows_a));
+  const std::vector<RowId> truth_b =
+      TruthOver(c.data, c.query, c.tmpl, std::move(rows_b));
+  ASSERT_NE(truth_a, truth_b)
+      << "halving shard 0 must change the skyline or the race test is vacuous";
+
+  // Readers run a FIXED number of queries; the writer keeps flipping the
+  // shard until the last reader is done, so the race is real no matter
+  // how fast either side is.
+  constexpr int kReaders = 3;
+  constexpr size_t kQueriesPerReader = 60;
+  std::atomic<int> active_readers{kReaders};
+  std::atomic<size_t> saw_a{0}, saw_b{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (size_t i = 0; i < kQueriesPerReader; ++i) {
+        auto rows = engine->Query(c.query);
+        if (!rows.ok()) {
+          active_readers.fetch_sub(1, std::memory_order_release);
+          GTEST_FAIL() << rows.status().ToString();
+        }
+        std::vector<RowId> got = Sorted(std::move(*rows));
+        if (got == truth_a) {
+          saw_a.fetch_add(1, std::memory_order_relaxed);
+        } else if (got == truth_b) {
+          saw_b.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          active_readers.fetch_sub(1, std::memory_order_release);
+          GTEST_FAIL() << "query answer matches neither epoch's skyline";
+        }
+      }
+      active_readers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  uint64_t swaps = 0;
+  while (active_readers.load(std::memory_order_acquire) > 0 || swaps < 2) {
+    const std::vector<RowId>& ids = (swaps % 2 == 0) ? shard0_half : shard0;
+    auto [rows, global] = SliceRows(c.data, ids);
+    Status st = engine->RebuildShard(0, std::move(rows), std::move(global));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ++swaps;
+  }
+  for (auto& reader : readers) reader.join();
+  if (swaps % 2 == 1) {  // land on the full table (contents A)
+    auto [rows, global] = SliceRows(c.data, shard0);
+    ASSERT_TRUE(
+        engine->RebuildShard(0, std::move(rows), std::move(global)).ok());
+    ++swaps;
+  }
+
+  // Every answer matched one of the two epochs (anything else failed the
+  // test inside the reader), and the final state is the full table.
+  EXPECT_EQ(saw_a.load() + saw_b.load(),
+            static_cast<size_t>(kReaders) * kQueriesPerReader);
+  EXPECT_EQ(engine->shard_epoch(0), swaps);
+  EXPECT_EQ(Sorted(engine->Query(c.query).ValueOrDie()), truth_a);
+}
+
+}  // namespace
+}  // namespace nomsky

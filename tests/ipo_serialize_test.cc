@@ -104,6 +104,30 @@ TEST(IpoSerializeErrorsTest, GarbageFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(IpoSerializeErrorsTest, VersionMismatchRejected) {
+  gen::GenConfig config;
+  config.num_rows = 60;
+  config.cardinality = 4;
+  config.seed = 18;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  IpoTreeEngine tree(data, tmpl);
+  std::string path = TempPath("version");
+  ASSERT_TRUE(tree.Save(path).ok());
+  {
+    // Layout: magic "NIPO" (4 bytes), then version u32 at offset 4. A
+    // future version behind the right magic must be refused, not parsed.
+    std::fstream patch(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(4);
+    const uint32_t future = 99;
+    patch.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  EXPECT_TRUE(
+      IpoTreeEngine::Load(data, tmpl, path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
 TEST(IpoSerializeErrorsTest, TruncatedFileRejected) {
   gen::GenConfig config;
   config.num_rows = 100;

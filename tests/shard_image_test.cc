@@ -1,0 +1,326 @@
+// ShardImage: exact save/load round trip of the packed shard format
+// (columns, id maps and neutral-packed bytes all bit-identical), rejection
+// of missing/garbage/truncated/version-bumped files and of images that do
+// not match the presented table, the empty-shard edge, and the acceptance
+// criterion for the snapshot layer: an engine built from a loaded shard
+// image answers every query byte-identically to the engine built from the
+// raw rows, for EVERY registered inner engine at 1/2/8 shards, via both
+// load paths (CreateFromImage and EngineOptions::shard_image_path).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/shard_image.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+
+namespace nomsky {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/nomsky_shard_" + name + ".img";
+}
+
+struct RandomCase {
+  Dataset data;
+  PreferenceProfile tmpl;
+  std::vector<PreferenceProfile> queries;
+};
+
+RandomCase MakeCase(uint64_t seed, size_t rows) {
+  gen::GenConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.seed = seed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng qrng(seed + 900);
+  std::vector<PreferenceProfile> queries;
+  queries.push_back(PreferenceProfile(data.schema()));
+  for (size_t order = 1; order <= 3; ++order) {
+    queries.push_back(gen::RandomImplicitQuery(data, tmpl, order, &qrng));
+  }
+  return RandomCase{std::move(data), std::move(tmpl), std::move(queries)};
+}
+
+std::unique_ptr<ShardedEngine> BuildRaw(const std::string& inner,
+                                        const RandomCase& c, size_t shards,
+                                        ThreadPool* pool) {
+  EngineOptions options;
+  options.pool = pool;
+  options.data_shards = shards;
+  options.topk = 3;
+  auto created = ShardedEngine::Create(inner, c.data, c.tmpl, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return created.ok() ? std::move(created).ValueOrDie() : nullptr;
+}
+
+// The saved image must reproduce every shard bit-for-bit: same columns,
+// same id maps, same packed bytes. Exactness is the whole point of the
+// neutral pack (sign-folding and dictionary codes are lossless), so this
+// compares with EQ on doubles, not NEAR.
+TEST(ShardImageRoundTripTest, SaveLoadIsBitExact) {
+  RandomCase c = MakeCase(31, 300);
+  ThreadPool pool(2);
+  auto engine = BuildRaw("sfsd", c, 4, &pool);
+  ASSERT_NE(engine, nullptr);
+  std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(engine->SaveImage(path).ok());
+
+  auto loaded = ShardImage::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->source_rows, c.data.num_rows());
+  ASSERT_EQ(loaded->num_shards(), engine->num_shards());
+
+  const Schema& schema = c.data.schema();
+  ASSERT_EQ(loaded->schema.num_dims(), schema.num_dims());
+  for (DimId d = 0; d < schema.num_dims(); ++d) {
+    EXPECT_EQ(loaded->schema.dim(d).name(), schema.dim(d).name());
+    EXPECT_EQ(loaded->schema.dim(d).kind(), schema.dim(d).kind());
+    if (schema.dim(d).is_nominal()) {
+      EXPECT_EQ(loaded->schema.dim(d).dictionary(),
+                schema.dim(d).dictionary());
+    } else {
+      EXPECT_EQ(loaded->schema.dim(d).direction(), schema.dim(d).direction());
+    }
+  }
+  for (size_t s = 0; s < loaded->num_shards(); ++s) {
+    auto snap = engine->snapshot(s);
+    const ShardImage::Shard& shard = loaded->shards[s];
+    ASSERT_EQ(shard.data.num_rows(), snap->data.num_rows()) << "shard " << s;
+    EXPECT_EQ(shard.global_rows, snap->global_rows) << "shard " << s;
+    for (size_t i = 0; i < schema.num_numeric(); ++i) {
+      EXPECT_EQ(shard.data.numeric_column(i), snap->data.numeric_column(i))
+          << "shard " << s << " numeric col " << i;
+    }
+    for (size_t j = 0; j < schema.num_nominal(); ++j) {
+      EXPECT_EQ(shard.data.nominal_column(j), snap->data.nominal_column(j))
+          << "shard " << s << " nominal col " << j;
+    }
+    ASSERT_EQ(shard.packed.size(), snap->packed.size()) << "shard " << s;
+    ASSERT_EQ(shard.packed.stride(), snap->packed.stride()) << "shard " << s;
+    for (size_t r = 0; r < shard.packed.size(); ++r) {
+      EXPECT_EQ(std::memcmp(shard.packed.row(r), snap->packed.row(r),
+                            shard.packed.stride() * sizeof(uint64_t)),
+                0)
+          << "shard " << s << " packed row " << r;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The acceptance criterion: for every registered inner engine at 1/2/8
+// shards, the image-loaded engine answers byte-identically (same rows,
+// same emission order) to the raw-built one — through CreateFromImage and
+// through Create with shard_image_path armed.
+TEST(ShardImageEquivalenceTest, ImageLoadedEnginesMatchRawBuiltByteForByte) {
+  RandomCase c = MakeCase(47, 260);
+  ThreadPool pool(2);
+  EngineRegistry& registry = EngineRegistry::Global();
+  for (const std::string& inner : registry.Names()) {
+    if (inner == "sharded") continue;  // inner engines only
+    for (size_t shards : {1, 2, 8}) {
+      auto raw = BuildRaw(inner, c, shards, &pool);
+      ASSERT_NE(raw, nullptr) << inner;
+      std::string path = TempPath("equiv");
+      ASSERT_TRUE(raw->SaveImage(path).ok()) << inner;
+
+      EngineOptions options;
+      options.pool = &pool;
+      options.topk = 3;
+      auto image = ShardImage::Load(path);
+      ASSERT_TRUE(image.ok()) << image.status().ToString();
+      auto adopted = ShardedEngine::CreateFromImage(
+          inner, std::move(*image), c.tmpl, options);
+      ASSERT_TRUE(adopted.ok()) << inner << ": "
+                                << adopted.status().ToString();
+      EXPECT_EQ((*adopted)->num_shards(), shards);
+      EXPECT_EQ((*adopted)->partition_seconds(), 0.0);
+
+      EngineOptions via_path;
+      via_path.pool = &pool;
+      via_path.topk = 3;
+      via_path.shard_image_path = path;
+      auto reloaded = ShardedEngine::Create(inner, c.data, c.tmpl, via_path);
+      ASSERT_TRUE(reloaded.ok()) << inner << ": "
+                                 << reloaded.status().ToString();
+
+      for (size_t qi = 0; qi < c.queries.size(); ++qi) {
+        auto expected = raw->Query(c.queries[qi]);
+        auto from_image = (*adopted)->Query(c.queries[qi]);
+        auto from_path = (*reloaded)->Query(c.queries[qi]);
+        ASSERT_TRUE(expected.ok()) << inner;
+        ASSERT_TRUE(from_image.ok()) << inner;
+        ASSERT_TRUE(from_path.ok()) << inner;
+        EXPECT_EQ(*from_image, *expected)
+            << "sharded:" << inner << " at " << shards
+            << " shards, query " << qi << " (CreateFromImage)";
+        EXPECT_EQ(*from_path, *expected)
+            << "sharded:" << inner << " at " << shards
+            << " shards, query " << qi << " (shard_image_path)";
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// Mostly-empty shards must survive the file format: 8 shards over 3 rows
+// leaves at least five shards with zero rows, zero-length id maps and
+// zero-length packed blocks.
+TEST(ShardImageEdgeTest, EmptyShardsRoundTrip) {
+  gen::GenConfig config;
+  config.num_rows = 3;
+  config.num_numeric = 1;
+  config.num_nominal = 2;
+  config.cardinality = 4;
+  config.seed = 23;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl(data.schema());
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 8;
+  auto raw = ShardedEngine::Create("asfs", data, tmpl, options);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  std::string path = TempPath("empty");
+  ASSERT_TRUE((*raw)->SaveImage(path).ok());
+
+  auto image = ShardImage::Load(path);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  size_t total = 0, empty = 0;
+  for (const auto& shard : image->shards) {
+    total += shard.data.num_rows();
+    if (shard.data.num_rows() == 0) ++empty;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_GE(empty, 5u);
+
+  auto adopted = ShardedEngine::CreateFromImage("asfs", std::move(*image),
+                                                tmpl, options);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  PreferenceProfile query(data.schema());
+  auto expected = (*raw)->Query(query);
+  auto got = (*adopted)->Query(query);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *expected);
+  std::remove(path.c_str());
+}
+
+TEST(ShardImageErrorsTest, MissingFile) {
+  EXPECT_TRUE(ShardImage::Load("/no/such/shard.img").status().IsNotFound());
+}
+
+TEST(ShardImageErrorsTest, GarbageFileRejected) {
+  std::string path = TempPath("garbage");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a shard image, not even close";
+  }
+  auto loaded = ShardImage::Load(path);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+// A future-versioned file must be refused with a message naming both
+// versions, not misparsed — the version gate is what lets the format
+// evolve behind the same magic.
+TEST(ShardImageErrorsTest, VersionMismatchRejected) {
+  RandomCase c = MakeCase(59, 80);
+  ThreadPool pool(2);
+  auto engine = BuildRaw("sfsd", c, 2, &pool);
+  ASSERT_NE(engine, nullptr);
+  std::string path = TempPath("version");
+  ASSERT_TRUE(engine->SaveImage(path).ok());
+  {
+    // Layout: magic "NSHI" (4 bytes), then version u32 at offset 4.
+    std::fstream patch(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(4);
+    const uint32_t future = 99;
+    patch.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  auto loaded = ShardImage::Load(path);
+  ASSERT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().ToString().find("99"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShardImageErrorsTest, TruncatedFileRejected) {
+  RandomCase c = MakeCase(61, 120);
+  ThreadPool pool(2);
+  auto engine = BuildRaw("sfsd", c, 2, &pool);
+  ASSERT_NE(engine, nullptr);
+  std::string path = TempPath("trunc");
+  ASSERT_TRUE(engine->SaveImage(path).ok());
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<char> bytes(size);
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  in.close();
+  // Cut at several depths: inside the schema, inside a shard, and just
+  // shy of the footer (the whole-file truncation check).
+  for (size_t keep : {size / 8, size / 2, size - 2}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    auto loaded = ShardImage::Load(path);
+    EXPECT_TRUE(loaded.status().IsInvalidArgument())
+        << "kept " << keep << " of " << size << " bytes: "
+        << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+// An image is only adoptable against the table it was cut from: Create
+// with shard_image_path must reject row-count and schema mismatches
+// rather than serve stale or foreign data.
+TEST(ShardImageErrorsTest, MismatchedTableRejected) {
+  RandomCase c = MakeCase(67, 150);
+  ThreadPool pool(2);
+  auto engine = BuildRaw("sfsd", c, 2, &pool);
+  ASSERT_NE(engine, nullptr);
+  std::string path = TempPath("mismatch");
+  ASSERT_TRUE(engine->SaveImage(path).ok());
+
+  EngineOptions options;
+  options.pool = &pool;
+  options.shard_image_path = path;
+
+  gen::GenConfig config;
+  config.num_rows = 151;  // same shape, one extra row
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.seed = 67;
+  Dataset more_rows = gen::Generate(config);
+  PreferenceProfile tmpl(more_rows.schema());
+  auto wrong_rows =
+      ShardedEngine::Create("sfsd", more_rows, tmpl, options);
+  EXPECT_TRUE(wrong_rows.status().IsInvalidArgument());
+
+  config.num_rows = 150;
+  config.num_nominal = 3;  // different schema entirely
+  Dataset other_schema = gen::Generate(config);
+  PreferenceProfile other_tmpl(other_schema.schema());
+  auto wrong_schema =
+      ShardedEngine::Create("sfsd", other_schema, other_tmpl, options);
+  EXPECT_TRUE(wrong_schema.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nomsky

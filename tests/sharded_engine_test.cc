@@ -188,8 +188,18 @@ TEST(ShardedEngineTestObservability, ReportsShardsFootprintAndMergeStats) {
   EXPECT_EQ(engine->num_shards(), 4u);
   EXPECT_EQ(engine->inner_name(), "asfs");
   EXPECT_EQ(std::string(engine->name()), "Sharded(asfs x4)");
-  // Shard storage plus four ASFS indexes.
-  EXPECT_GT(engine->MemoryUsage(), engine->sharded_data().MemoryUsage());
+  // Four snapshots, each carrying rows + packed block + an ASFS index.
+  size_t snapshot_rows = 0, snapshot_bytes = 0;
+  for (size_t s = 0; s < engine->num_shards(); ++s) {
+    auto snap = engine->snapshot(s);
+    EXPECT_EQ(snap->epoch, 0u);
+    EXPECT_EQ(snap->data.num_rows(), snap->global_rows.size());
+    EXPECT_EQ(snap->packed.size(), snap->data.num_rows());
+    snapshot_rows += snap->data.num_rows();
+    snapshot_bytes += snap->data.MemoryUsage() + snap->packed.MemoryUsage();
+  }
+  EXPECT_EQ(snapshot_rows, c.data.num_rows());
+  EXPECT_GT(engine->MemoryUsage(), snapshot_bytes);
   EXPECT_GT(engine->shard_build_seconds_total(), 0.0);
 
   auto rows = engine->Query(c.queries.back());

@@ -3,7 +3,9 @@
 // Usage:
 //   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
 //              [--engine NAME|auto|sharded:NAME] [--threads N] [--shards K]
-//              [--batch FILE] [--explain] [--topk K] [--limit N] [QUERY ...]
+//              [--batch FILE] [--explain] [--topk K] [--limit N]
+//              [--save-shards FILE] [--load-shards FILE] [QUERY ...]
+//   nomsky_cli --load-shards FILE [--template PREFS] [QUERY ...]
 //   nomsky_cli --list-engines
 //
 // SPEC is a comma-separated dimension list:
@@ -22,6 +24,13 @@
 // --shards=K partitions the dataset into K shards for the sharded engines
 // (--engine=sharded:<inner>, or the auto planner's sharded route).
 //
+// Shard images (exec/shard_image.h): --save-shards FILE writes a sharded
+// engine's snapshots as an immutable image; --load-shards FILE serves
+// straight from one. With --csv, the image is validated against the table
+// and replaces partition + pack; WITHOUT --csv the image alone is the data
+// source — schema, rows and the pre-packed kernel layout all come from the
+// file (no --schema, no parse).
+//
 // Example:
 //   nomsky_cli --csv packages.csv --schema "price:min,stars:max,group:nom{T|H|M}" "group: T<M<*"
 
@@ -30,7 +39,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
@@ -39,6 +50,8 @@
 #include "exec/engine_registry.h"
 #include "exec/planner.h"
 #include "exec/query_executor.h"
+#include "exec/shard_image.h"
+#include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
 
 namespace nomsky {
@@ -95,9 +108,50 @@ Result<PreferenceProfile> ParsePrefsText(const Schema& schema,
   return PreferenceProfile::Parse(schema, prefs);
 }
 
-void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
+// Where row values are read from for output: the source table when we have
+// one, else the sharded engine's snapshots through a global→(shard, local)
+// map — the image-only mode has no source table at all.
+class RowView {
+ public:
+  explicit RowView(const Dataset& table) : table_(&table) {}
+
+  RowView(const Schema& schema, const ShardedEngine& engine)
+      : schema_(&schema) {
+    snaps_.reserve(engine.num_shards());
+    where_.assign(static_cast<size_t>(engine.source_rows()), {0, 0});
+    for (size_t s = 0; s < engine.num_shards(); ++s) {
+      snaps_.push_back(engine.snapshot(s));
+      const std::vector<RowId>& globals = snaps_.back()->global_rows;
+      for (size_t i = 0; i < globals.size(); ++i) {
+        where_[globals[i]] = {s, static_cast<RowId>(i)};
+      }
+    }
+  }
+
+  const Schema& schema() const {
+    return table_ != nullptr ? table_->schema() : *schema_;
+  }
+  double numeric(DimId d, RowId r) const {
+    if (table_ != nullptr) return table_->numeric(d, r);
+    const auto& [s, local] = where_[r];
+    return snaps_[s]->data.numeric(d, local);
+  }
+  ValueId nominal(DimId d, RowId r) const {
+    if (table_ != nullptr) return table_->nominal(d, r);
+    const auto& [s, local] = where_[r];
+    return snaps_[s]->data.nominal(d, local);
+  }
+
+ private:
+  const Dataset* table_ = nullptr;
+  const Schema* schema_ = nullptr;
+  std::vector<std::shared_ptr<const ShardSnapshot>> snaps_;
+  std::vector<std::pair<size_t, RowId>> where_;
+};
+
+void PrintRows(const RowView& view, const std::vector<RowId>& rows,
                size_t limit) {
-  const Schema& schema = data.schema();
+  const Schema& schema = view.schema();
   for (DimId d = 0; d < schema.num_dims(); ++d) {
     std::printf("%s%s", d > 0 ? "," : "", schema.dim(d).name().c_str());
   }
@@ -108,9 +162,9 @@ void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
       if (d > 0) std::printf(",");
       const Dimension& dim = schema.dim(d);
       if (dim.is_numeric()) {
-        std::printf("%g", data.numeric(d, r));
+        std::printf("%g", view.numeric(d, r));
       } else {
-        std::printf("%s", dim.ValueName(data.nominal(d, r)).c_str());
+        std::printf("%s", dim.ValueName(view.nominal(d, r)).c_str());
       }
     }
     std::printf("\n");
@@ -122,7 +176,8 @@ void PrintRows(const Dataset& data, const std::vector<RowId>& rows,
 
 int Run(int argc, char** argv) {
   std::string csv_path, schema_spec, template_text, batch_path;
-  std::string engine_name = "asfs";
+  std::string save_shards_path, load_shards_path;
+  std::string engine_name;  // default resolved after flag parsing
   size_t topk = 10, limit = 20, threads = 1, shards = 0;
   bool explain = false;
   std::vector<std::string> query_texts;
@@ -160,6 +215,10 @@ int Run(int argc, char** argv) {
       shards = static_cast<size_t>(value);
     } else if (arg == "--batch") {
       batch_path = need_value("--batch");
+    } else if (arg == "--save-shards") {
+      save_shards_path = need_value("--save-shards");
+    } else if (arg == "--load-shards") {
+      load_shards_path = need_value("--load-shards");
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--list-engines") {
@@ -177,32 +236,75 @@ int Run(int argc, char** argv) {
       std::printf("usage: nomsky_cli --csv FILE --schema SPEC "
                   "[--template PREFS] [--engine NAME|auto|sharded:NAME] "
                   "[--threads N] [--shards K] [--batch FILE] [--explain] "
-                  "[--topk K] [--limit N] [QUERY ...]\n"
+                  "[--topk K] [--limit N] [--save-shards FILE] "
+                  "[--load-shards FILE] [QUERY ...]\n"
+                  "       nomsky_cli --load-shards FILE [--template PREFS] "
+                  "[QUERY ...]\n"
                   "       nomsky_cli --list-engines\n");
       return 0;
     } else {
       query_texts.push_back(arg);
     }
   }
-  if (csv_path.empty() || schema_spec.empty()) {
-    std::fprintf(stderr, "--csv and --schema are required (see --help)\n");
+  const bool image_only = !load_shards_path.empty() && csv_path.empty();
+  if (!image_only && (csv_path.empty() || schema_spec.empty())) {
+    std::fprintf(stderr,
+                 "--csv and --schema are required unless serving from "
+                 "--load-shards alone (see --help)\n");
+    return 2;
+  }
+  if (image_only && !schema_spec.empty()) {
+    std::fprintf(stderr,
+                 "--schema comes from the shard image; drop it or add "
+                 "--csv\n");
+    return 2;
+  }
+  if (engine_name.empty()) engine_name = image_only ? "sharded" : "asfs";
+  if (!load_shards_path.empty() && engine_name.rfind("sharded", 0) != 0 &&
+      (image_only || engine_name != "auto")) {
+    std::fprintf(stderr,
+                 "--load-shards needs a sharded engine (--engine "
+                 "sharded[:<inner>]%s), got '%s'\n",
+                 image_only ? "" : " or auto", engine_name.c_str());
     return 2;
   }
   if (threads == 0) threads = ThreadPool::DefaultThreads();
 
-  auto schema = ParseSchemaSpec(schema_spec);
-  if (!schema.ok()) {
-    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
-    return 2;
+  // Resolve the data source: CSV table, shard image, or both (the image is
+  // then validated against the table by the engine).
+  Schema schema;
+  std::optional<Dataset> data;
+  std::optional<ShardImage> image;
+  size_t num_rows = 0;
+  if (image_only) {
+    auto loaded = ShardImage::Load(load_shards_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "shard image: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    image = std::move(loaded).ValueOrDie();
+    schema = image->schema;
+    num_rows = static_cast<size_t>(image->source_rows);
+  } else {
+    auto parsed_schema = ParseSchemaSpec(schema_spec);
+    if (!parsed_schema.ok()) {
+      std::fprintf(stderr, "schema: %s\n",
+                   parsed_schema.status().ToString().c_str());
+      return 2;
+    }
+    schema = std::move(parsed_schema).ValueOrDie();
+    auto loaded = gen::LoadCsv(schema, csv_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "csv: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    data = std::move(loaded).ValueOrDie();
+    num_rows = data->num_rows();
   }
-  auto data = gen::LoadCsv(*schema, csv_path);
-  if (!data.ok()) {
-    std::fprintf(stderr, "csv: %s\n", data.status().ToString().c_str());
-    return 2;
-  }
-  PreferenceProfile tmpl(*schema);
+  PreferenceProfile tmpl(schema);
   if (!template_text.empty()) {
-    auto parsed = ParsePrefsText(*schema, template_text);
+    auto parsed = ParsePrefsText(schema, template_text);
     if (!parsed.ok()) {
       std::fprintf(stderr, "template: %s\n",
                    parsed.status().ToString().c_str());
@@ -220,19 +322,61 @@ int Run(int argc, char** argv) {
   engine_options.query_shards = threads;
   engine_options.data_shards = shards;
   engine_options.pool = &pool;
+  if (!image_only) engine_options.shard_image_path = load_shards_path;
 
   WallTimer build;
-  auto created = EngineRegistry::Global().Create(engine_name, *data, tmpl,
-                                                 engine_options);
-  if (!created.ok()) {
-    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
-    return 2;
+  std::unique_ptr<SkylineEngine> engine;
+  if (image_only) {
+    std::string inner =
+        engine_name == "sharded" ? "sfsd" : engine_name.substr(8);
+    auto created = ShardedEngine::CreateFromImage(inner, std::move(*image),
+                                                  tmpl, engine_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   created.status().ToString().c_str());
+      return 2;
+    }
+    engine = std::move(created).ValueOrDie();
+  } else {
+    auto created = EngineRegistry::Global().Create(engine_name, *data, tmpl,
+                                                   engine_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   created.status().ToString().c_str());
+      return 2;
+    }
+    engine = std::move(created).ValueOrDie();
   }
-  std::unique_ptr<SkylineEngine> engine = std::move(created).ValueOrDie();
   const auto* auto_engine = dynamic_cast<const AutoEngine*>(engine.get());
-  std::fprintf(stderr, "loaded %zu rows; %s ready in %.2f s\n",
-               data->num_rows(), engine_name.c_str(),
-               build.ElapsedSeconds());
+  std::fprintf(stderr, "loaded %zu rows; %s ready in %.2f s\n", num_rows,
+               engine_name.c_str(), build.ElapsedSeconds());
+
+  if (!save_shards_path.empty()) {
+    auto* sharded = dynamic_cast<ShardedEngine*>(engine.get());
+    if (sharded == nullptr) {
+      std::fprintf(stderr,
+                   "--save-shards needs a sharded engine "
+                   "(--engine sharded[:<inner>]), got '%s'\n",
+                   engine_name.c_str());
+      return 2;
+    }
+    Status saved = sharded->SaveImage(save_shards_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "--save-shards: %s\n", saved.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "saved %zu shards to %s\n", sharded->num_shards(),
+                 save_shards_path.c_str());
+  }
+
+  // Row values for output come from the table when we have one, else from
+  // the engine's snapshots.
+  std::optional<RowView> view;
+  if (data.has_value()) {
+    view.emplace(*data);
+  } else {
+    view.emplace(schema, *dynamic_cast<const ShardedEngine*>(engine.get()));
+  }
 
   auto print_plan = [](const PlanDecision& decision) {
     std::fprintf(stderr, "plan: %s (%s)\n", decision.engine.c_str(),
@@ -263,7 +407,7 @@ int Run(int argc, char** argv) {
     std::vector<PreferenceProfile> queries;
     queries.reserve(query_texts.size());
     for (const std::string& text : query_texts) {
-      auto query = ParsePrefsText(*schema, text);
+      auto query = ParsePrefsText(schema, text);
       if (!query.ok()) {
         std::fprintf(stderr, "query '%s': %s\n", text.c_str(),
                      query.status().ToString().c_str());
@@ -286,7 +430,7 @@ int Run(int argc, char** argv) {
         continue;
       }
       std::fprintf(stderr, "%zu skyline rows\n", batch.rows[i].size());
-      PrintRows(*data, batch.rows[i], limit);
+      PrintRows(*view, batch.rows[i], limit);
     }
     std::fprintf(stderr,
                  "batch: %zu queries, %zu failed, %.2f ms total, "
@@ -301,7 +445,7 @@ int Run(int argc, char** argv) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (Trim(line).empty()) continue;
-    auto query = ParsePrefsText(*schema, line);
+    auto query = ParsePrefsText(schema, line);
     if (!query.ok()) {
       std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
       continue;
@@ -319,7 +463,7 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(stderr, "%zu skyline rows in %.2f ms\n", rows->size(),
                  timer.ElapsedMillis());
-    PrintRows(*data, *rows, limit);
+    PrintRows(*view, *rows, limit);
   }
   print_auto_stats();
   return 0;
