@@ -11,6 +11,7 @@
 #include "core/adaptive_sfs.h"
 #include "core/ipo_tree.h"
 #include "datagen/generator.h"
+#include "dominance/kernel_simd.h"
 #include "skyline/sfs_direct.h"
 
 namespace nomsky {
@@ -236,7 +237,10 @@ void MaybeWriteJson(const std::string& title,
     const RecordedFigure& fig = figures[fi];
     std::fprintf(f, "  {\"title\": \"");
     JsonEscaped(f, fig.title);
-    std::fprintf(f, "\", \"scale\": %.6g, \"points\": [\n", EnvScale());
+    // The dispatched dominance kernel tier makes baselines from different
+    // hardware recognizable (the regression gate skips cross-tier diffs).
+    std::fprintf(f, "\", \"scale\": %.6g, \"kernel_tier\": \"%s\", \"points\": [\n",
+                 EnvScale(), KernelTierName(ActiveKernelTier()));
     for (size_t pi = 0; pi < fig.points.size(); ++pi) {
       const PointMetrics& p = fig.points[pi];
       std::fprintf(f, "    {\"label\": \"");

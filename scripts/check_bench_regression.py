@@ -58,10 +58,11 @@ def load_harness_figures(path):
 
 
 def index_means(figures):
-    """{(figure_idx, label, engine, threads, metric): (mean, scale)}"""
+    """{(figure_idx, label, engine, threads, metric): (mean, scale, tier)}"""
     means = {}
     for fi, figure in enumerate(figures):
         scale = figure.get("scale", 1.0)
+        tier = figure.get("kernel_tier")  # None on pre-tier baselines
         for point in figure.get("points", []):
             label = point.get("label", "")
             for engine in point.get("engines", []):
@@ -70,7 +71,7 @@ def index_means(figures):
                 for metric in GATED_MEANS:
                     if metric in engine:
                         key = (fi, label, name, threads, metric)
-                        means[key] = (float(engine[metric]), scale)
+                        means[key] = (float(engine[metric]), scale, tier)
     return means
 
 
@@ -115,13 +116,24 @@ def main():
             continue
 
         base_means = index_means(base_figs)
-        for key, (fresh_mean, fresh_scale) in \
+        warned_tiers = set()
+        for key, (fresh_mean, fresh_scale, fresh_tier) in \
                 sorted(index_means(fresh_figs).items()):
             if key not in base_means:
                 continue
-            base_mean, base_scale = base_means[key]
+            base_mean, base_scale, base_tier = base_means[key]
             if base_scale != fresh_scale:
                 continue  # different workload size; not comparable
+            if (base_tier is not None and fresh_tier is not None
+                    and base_tier != fresh_tier):
+                # Different dominance-kernel dispatch tier (other hardware
+                # or a forced fallback): timings are not comparable.
+                if key[0] not in warned_tiers:
+                    warned_tiers.add(key[0])
+                    print(f"warning: {fresh_path.name} figure {key[0]}: "
+                          f"kernel tier {base_tier} -> {fresh_tier}; "
+                          "skipping cross-tier comparisons")
+                continue
             if base_mean < args.min_seconds:
                 continue
             compared += 1

@@ -201,15 +201,13 @@ size_t IpoTreeEngine::FillDisqualifiedSet(Node* node,
       PackedBlock sky_block, pool_block;
       sky_block.Pack(kernel, *data_, skyline_);
       pool_block.Pack(kernel, *data_, dominator_pool_);
+      // One-vs-many scan per skyline row. No self-skip needed: a row never
+      // strictly dominates its own packed image (Compare(x, x) == kEqual).
       for (size_t pi = 0; pi < sky_block.size(); ++pi) {
-        const RowId p = sky_block.row_id(pi);
-        for (size_t qi = 0; qi < pool_block.size(); ++qi) {
-          if (pool_block.row_id(qi) == p) continue;
-          if (kernel.Compare(pool_block.row(qi), sky_block.row(pi)) ==
-              DomResult::kLeftDominates) {
-            disqualified.push_back(p);
-            break;
-          }
+        if (kernel.CompareBlock(sky_block.row(pi), pool_block.row(0),
+                                pool_block.size(), pool_block.stride()) <
+            pool_block.size()) {
+          disqualified.push_back(sky_block.row_id(pi));
         }
       }
     }

@@ -15,6 +15,29 @@ size_t PaddedSlots(size_t used) {
          kSlotsPerCacheLine;
 }
 
+// One lane-role mask per `lanes`-slot group: bit l of element g flags slot
+// g*lanes+l as numeric (< nn) resp. nominal (in [nn, nn+nm)). Padding
+// lanes are in neither mask, so full-width group compares AND away both
+// the padding and the foreign section when a group straddles a boundary.
+// The stride is a multiple of 8, so groups of 2 or 4 never cross rows.
+void BuildLaneMasks(size_t nn, size_t nm, size_t stride, size_t lanes,
+                    std::vector<uint8_t>* num_masks,
+                    std::vector<uint8_t>* nom_masks) {
+  const size_t groups = stride / lanes;
+  num_masks->assign(groups, 0);
+  if (nom_masks != nullptr) nom_masks->assign(groups, 0);
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t l = 0; l < lanes; ++l) {
+      const size_t slot = g * lanes + l;
+      if (slot < nn) {
+        (*num_masks)[g] |= static_cast<uint8_t>(1u << l);
+      } else if (slot < nn + nm && nom_masks != nullptr) {
+        (*nom_masks)[g] |= static_cast<uint8_t>(1u << l);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CompiledProfile::CompiledProfile(const Schema& schema,
@@ -39,6 +62,10 @@ CompiledProfile::CompiledProfile(const Schema& schema,
       ranks_[rank_offset_[j] + choices[pos]] = static_cast<uint32_t>(pos);
     }
   }
+  BuildLaneMasks(num_numeric_, num_nominal_, row_slots_, 4, &lane4_num_,
+                 &lane4_nom_);
+  BuildLaneMasks(num_numeric_, num_nominal_, row_slots_, 2, &lane2_num_,
+                 &lane2_nom_);
 }
 
 CompiledGeneralProfile::CompiledGeneralProfile(
@@ -74,6 +101,10 @@ CompiledGeneralProfile::CompiledGeneralProfile(
       }
     }
   }
+  BuildLaneMasks(num_numeric_, num_nominal_, row_slots_, 4, &lane4_num_,
+                 nullptr);
+  BuildLaneMasks(num_numeric_, num_nominal_, row_slots_, 2, &lane2_num_,
+                 nullptr);
 }
 
 void PackedBlock::WriteTo(BinaryWriter& writer) const {

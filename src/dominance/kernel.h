@@ -18,7 +18,10 @@
 //    doubles first, then one uint64 per nominal dimension encoding
 //    (rank << 32) | value — padded to a 64-byte cache-line multiple, so a
 //    window comparison touches one contiguous tuple per side instead of D
-//    column arrays.
+//    column arrays. Padding slots are ZEROED by every pack entry point:
+//    full-stride SIMD loads must read defined bytes, and shard images
+//    persist packed rows as-is, so deterministic padding is what makes
+//    image bytes a pure function of the data.
 //  * Compare() returns the same four-way DomResult as the reference via a
 //    branch-reduced flag-accumulation loop with early exit. The nominal
 //    encoding preserves the paper's semantics exactly: equal slots are the
@@ -122,7 +125,8 @@ class CompiledProfile {
   double numeric_sign(size_t i) const { return sign_[i]; }
 
   /// \brief Packs row `r` of `data` into dest[0, row_slots()): sign-folded
-  /// numeric doubles (bit-cast into the slots), then nominal encodings.
+  /// numeric doubles (bit-cast into the slots), then nominal encodings,
+  /// then zeroed padding up to the stride.
   /// `data` must match the schema the profile was compiled against.
   /// Inline: window algorithms pack one candidate per outer-loop step.
   void PackRow(const Dataset& data, RowId r, uint64_t* dest) const {
@@ -133,6 +137,9 @@ class CompiledProfile {
     for (size_t j = 0; j < num_nominal_; ++j) {
       const ValueId v = data.nominal_column(j)[r];
       nom[j] = (static_cast<uint64_t>(ranks_[rank_offset_[j] + v]) << 32) | v;
+    }
+    for (size_t k = num_numeric_ + num_nominal_; k < row_slots_; ++k) {
+      dest[k] = 0;
     }
   }
 
@@ -150,6 +157,11 @@ class CompiledProfile {
     for (size_t j = 0; j < num_nominal_; ++j) {
       const ValueId v = static_cast<ValueId>(src_nom[j]);
       nom[j] = (static_cast<uint64_t>(ranks_[rank_offset_[j] + v]) << 32) | v;
+    }
+    // Padding is re-zeroed (never copied): the destination must satisfy the
+    // defined-bytes contract even for rows from pre-contract images.
+    for (size_t k = num_numeric_ + num_nominal_; k < row_slots_; ++k) {
+      dest[k] = 0;
     }
   }
 
@@ -189,6 +201,31 @@ class CompiledProfile {
     return DomResult::kEqual;
   }
 
+  /// \brief One-vs-many scan (kernel_simd.cc, runtime-dispatched SIMD):
+  /// index of the first of the n stride-spaced rows at `base` that
+  /// DOMINATES `probe`, or n when none does. The probe's vectors load into
+  /// registers once for the whole scan — THE window inner loop.
+  size_t CompareBlock(const uint64_t* probe, const uint64_t* base, size_t n,
+                      size_t stride) const;
+
+  /// \brief BNL's scan: index of the first row strictly related to the
+  /// probe either way (row dominates probe, or probe dominates row), or n;
+  /// `*result` receives the relation at the returned index. Equal and
+  /// incomparable rows are skipped — exactly the entries BNL keeps.
+  size_t CompareBlockRelated(const uint64_t* probe, const uint64_t* base,
+                             size_t n, size_t stride,
+                             DomResult* result) const;
+
+  /// \brief Per-group lane role masks for the SIMD tiers: element g of the
+  /// width-4 (AVX2) or width-2 (SSE4.2) array holds one bit per lane of
+  /// slot group g flagging it numeric / nominal (padding lanes are in
+  /// neither mask). Compiled once so a group straddling the numeric and
+  /// nominal sections costs two masked compares instead of a tail loop.
+  const uint8_t* lane4_numeric_masks() const { return lane4_num_.data(); }
+  const uint8_t* lane4_nominal_masks() const { return lane4_nom_.data(); }
+  const uint8_t* lane2_numeric_masks() const { return lane2_num_.data(); }
+  const uint8_t* lane2_nominal_masks() const { return lane2_nom_.data(); }
+
  private:
   size_t num_numeric_ = 0;
   size_t num_nominal_ = 0;
@@ -196,6 +233,10 @@ class CompiledProfile {
   std::vector<double> sign_;
   std::vector<uint32_t> ranks_;        // flat rank[ValueId], all dims
   std::vector<size_t> rank_offset_;    // per-dimension offset into ranks_
+  std::vector<uint8_t> lane4_num_;     // SIMD lane roles, 4-lane groups
+  std::vector<uint8_t> lane4_nom_;
+  std::vector<uint8_t> lane2_num_;     // SIMD lane roles, 2-lane groups
+  std::vector<uint8_t> lane2_nom_;
 };
 
 /// \brief The general partial-order model compiled the same way: numeric
@@ -220,6 +261,9 @@ class CompiledGeneralProfile {
     uint64_t* nom = dest + num_numeric_;
     for (size_t j = 0; j < num_nominal_; ++j) {
       nom[j] = data.nominal_column(j)[r];
+    }
+    for (size_t k = num_numeric_ + num_nominal_; k < row_slots_; ++k) {
+      dest[k] = 0;
     }
   }
 
@@ -254,6 +298,24 @@ class CompiledGeneralProfile {
     return DomResult::kEqual;
   }
 
+  /// \brief One-vs-many scan (kernel_simd.cc): index of the first row that
+  /// dominates `probe`, or n. The numeric section runs vectorized; the
+  /// relation-table probes stay scalar (table lookups do not vectorize).
+  size_t CompareBlock(const uint64_t* probe, const uint64_t* base, size_t n,
+                      size_t stride) const;
+
+  /// \brief Relation-table probe for the j-th nominal dimension: 0 when a
+  /// and b are incomparable, 1 when a ≺ b, 2 when b ≺ a. For the SIMD
+  /// module's scalar nominal section.
+  uint8_t relation(size_t j, uint64_t a, uint64_t b) const {
+    return rel_[rel_offset_[j] + a * cardinality_[j] + b];
+  }
+
+  /// \brief SIMD lane role masks for the numeric section (the nominal
+  /// section is scalar here, so there are no nominal masks).
+  const uint8_t* lane4_numeric_masks() const { return lane4_num_.data(); }
+  const uint8_t* lane2_numeric_masks() const { return lane2_num_.data(); }
+
  private:
   size_t num_numeric_ = 0;
   size_t num_nominal_ = 0;
@@ -262,6 +324,8 @@ class CompiledGeneralProfile {
   std::vector<uint8_t> rel_;           // flat per-dimension relation tables
   std::vector<size_t> rel_offset_;
   std::vector<size_t> cardinality_;
+  std::vector<uint8_t> lane4_num_;     // SIMD lane roles, 4-lane groups
+  std::vector<uint8_t> lane2_num_;
 };
 
 /// \brief A batch of candidate rows packed row-major under a compiled
@@ -388,27 +452,21 @@ class PackedWindow {
 };
 
 /// \brief True iff any window row dominates the packed candidate `cand`
-/// (the dense-window scan every SFS-shaped extraction runs). Streams the
-/// window's contiguous rows with the stride hoisted; adds the number of
-/// comparisons actually performed to *tests when provided. This is THE
-/// per-candidate inner loop — future SIMD work lands here once, not in
-/// each extraction.
+/// (the dense-window scan every SFS-shaped extraction runs). One
+/// CompareBlock call: the runtime-dispatched SIMD kernel loads the
+/// candidate's vectors into registers once and streams the window's
+/// contiguous rows. Adds the number of comparisons actually performed
+/// (rows examined up to and including the dominator) to *tests when
+/// provided — identical counts to the scalar per-pair scan, since every
+/// tier stops at the same first dominator.
 template <typename Profile>
 inline bool WindowDominates(const Profile& profile, const PackedWindow& window,
                             const uint64_t* cand, size_t* tests = nullptr) {
-  const size_t stride = window.stride();
   const size_t n = window.size();
-  const uint64_t* row = window.data();
-  size_t performed = 0;
-  for (size_t i = 0; i < n; ++i, row += stride) {
-    ++performed;
-    if (profile.Compare(row, cand) == DomResult::kLeftDominates) {
-      if (tests != nullptr) *tests += performed;
-      return true;
-    }
-  }
-  if (tests != nullptr) *tests += performed;
-  return false;
+  const size_t hit = profile.CompareBlock(cand, window.data(), n,
+                                          window.stride());
+  if (tests != nullptr) *tests += hit < n ? hit + 1 : n;
+  return hit < n;
 }
 
 }  // namespace nomsky

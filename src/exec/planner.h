@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/hybrid.h"
+#include "dominance/kernel_simd.h"
 #include "exec/engine_registry.h"
 
 namespace nomsky {
@@ -39,6 +40,9 @@ struct PlanDecision {
   std::string engine;  ///< registry name: "hybrid", "asfs", "sfsd" or
                        ///< "sharded"
   std::string reason;  ///< human-readable explanation (--explain output)
+  /// Dominance kernel tier the routed engine's comparisons dispatch to
+  /// ("scalar" / "sse42" / "avx2"); resolved when the decision is made.
+  std::string kernel_tier = KernelTierName(ActiveKernelTier());
 };
 
 /// \brief Stateless per-query router. Thread-safe: all state is fixed at

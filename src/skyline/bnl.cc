@@ -56,18 +56,29 @@ std::vector<RowId> BnlSkyline(const CompiledProfile& kernel,
     bool dominated = false;
     size_t dominator = 0;
     size_t keep = 0;
-    for (size_t i = 0; i < window.size(); ++i) {
+    // Only strictly related rows act (dominator stops the scan, dominated
+    // rows evict); equal/incomparable stretches bulk-keep. The one-vs-many
+    // scan finds the next related row so the candidate's registers are
+    // loaded once per stretch rather than once per pair.
+    const size_t n = window.size();
+    const size_t stride = window.stride();
+    size_t i = 0;
+    while (i < n) {
+      DomResult r = DomResult::kIncomparable;
+      const size_t run = kernel.CompareBlockRelated(
+          cand.data(), window.data() + i * stride, n - i, stride, &r);
+      local.dominance_tests += run;
+      for (size_t j = 0; j < run; ++j) window.CopyEntry(i + j, keep++);
+      i += run;
+      if (i == n) break;
       ++local.dominance_tests;
-      DomResult r = kernel.Compare(window.row(i), cand.data());
       if (r == DomResult::kLeftDominates) {
         dominated = true;
         dominator = keep;
-        while (i < window.size()) window.CopyEntry(i++, keep++);
+        while (i < n) window.CopyEntry(i++, keep++);
         break;
       }
-      if (r != DomResult::kRightDominates) {
-        window.CopyEntry(i, keep++);
-      }
+      ++i;  // kRightDominates: p evicts window[i] (skip it).
     }
     window.Truncate(keep);
     if (dominated) {

@@ -82,18 +82,23 @@ std::vector<std::pair<double, RowId>> SortedByScore(
   return sorted;
 }
 
-// Kernel extraction: candidates packed once under the compiled orders, the
-// accepted window kept as a dense scratch (same shape as the implicit-
-// preference path in skyline/sfs.cc).
+// Kernel extraction: candidates batch-packed once under the compiled
+// orders, the accepted window kept as a dense scratch (same shape as the
+// implicit-preference path in skyline/sfs.cc).
 std::vector<RowId> ExtractSkyline(
     const CompiledGeneralProfile& kernel, const Dataset& data,
     const std::vector<std::pair<double, RowId>>& sorted) {
-  std::vector<uint64_t> cand(kernel.row_slots());
-  uint64_t* const cp = cand.data();
+  std::vector<RowId> ids;
+  ids.reserve(sorted.size());
+  for (const auto& [s, r] : sorted) ids.push_back(r);
+  PackedBlock block;
+  block.Pack(kernel, data, ids);
   PackedWindow window(kernel.row_slots());
-  for (const auto& [s, r] : sorted) {
-    kernel.PackRow(data, r, cp);
-    if (!WindowDominates(kernel, window, cp)) window.Append(cp, r);
+  for (size_t i = 0; i < block.size(); ++i) {
+    const uint64_t* cp = block.row(i);
+    if (!WindowDominates(kernel, window, cp)) {
+      window.Append(cp, block.row_id(i));
+    }
   }
   return window.ids();
 }

@@ -43,16 +43,21 @@ std::vector<RowId> SfsExtract(const CompiledProfile& kernel,
                               const Dataset& data,
                               const std::vector<ScoredRow>& sorted,
                               SfsStats* stats) {
-  // Pack every candidate once; the accepted window is re-packed densely in
-  // acceptance order so the inner scan streams contiguous cache lines.
-  std::vector<uint64_t> cand(kernel.row_slots());
-  uint64_t* const cp = cand.data();
+  // Batch-pack every candidate in score order up front (one PackRow sweep
+  // over contiguous destination lines); the accepted window is re-packed
+  // densely in acceptance order so the inner scan streams contiguous cache
+  // lines.
+  std::vector<RowId> ids;
+  ids.reserve(sorted.size());
+  for (const ScoredRow& sr : sorted) ids.push_back(sr.row);
+  PackedBlock block;
+  block.Pack(kernel, data, ids);
   PackedWindow window(kernel.row_slots());
   SfsStats local;
-  for (const ScoredRow& sr : sorted) {
-    kernel.PackRow(data, sr.row, cp);
+  for (size_t i = 0; i < block.size(); ++i) {
+    const uint64_t* cp = block.row(i);
     if (!WindowDominates(kernel, window, cp, &local.dominance_tests)) {
-      window.Append(cp, sr.row);
+      window.Append(cp, block.row_id(i));
     }
   }
   if (stats != nullptr) *stats = local;

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 
 #include "common/rng.h"
+#include "dominance/kernel_simd.h"
 #include "datagen/generator.h"
 #include "skyline/bnl.h"
 #include "skyline/naive.h"
@@ -255,6 +257,252 @@ TEST(PackedBlockTest, RowIdsAndReuseAcrossProfiles) {
   block.Pack(kernel, data, AllRows(data.num_rows()));
   EXPECT_EQ(block.size(), data.num_rows());
   EXPECT_GT(block.MemoryUsage(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Forced-dispatch suite: every tier the host supports (scalar always, then
+// sse42/avx2 where the CPU has them) must be byte-identical to the
+// reference comparator and to the scalar window scans. The SIMD tiers are
+// only exercised on hosts that have them — CI's scalar-forced leg plus the
+// x86-64 runners cover all paths between them.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, TiersEnumerateAndForce) {
+  EXPECT_TRUE(KernelTierAvailable(KernelTier::kScalar));
+  std::vector<KernelTier> tiers = AvailableKernelTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), KernelTier::kScalar);
+  EXPECT_EQ(tiers.back(), DetectBestKernelTier());
+  EXPECT_STREQ(KernelTierName(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(KernelTierName(KernelTier::kSse42), "sse42");
+  EXPECT_STREQ(KernelTierName(KernelTier::kAvx2), "avx2");
+
+  ForceKernelTier(static_cast<int>(KernelTier::kScalar));
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  // An unavailable forced tier clamps to the best the host has.
+  ForceKernelTier(static_cast<int>(KernelTier::kAvx2));
+  EXPECT_EQ(ActiveKernelTier(),
+            KernelTierAvailable(KernelTier::kAvx2) ? KernelTier::kAvx2
+                                                   : DetectBestKernelTier());
+  ForceKernelTier(kTierNoForce);
+}
+
+// The randomized reference sweep, replayed per dispatch tier: every pair,
+// every profile order, all four outcomes occurring, on every tier.
+TEST(SimdDispatchTest, EveryTierMatchesReferenceOnRandomData) {
+  for (KernelTier tier : AvailableKernelTiers()) {
+    std::array<size_t, 4> outcome_counts{};
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      gen::GenConfig config;
+      config.num_rows = 120;
+      config.num_numeric = 1 + seed % 3;
+      config.num_nominal = 1 + seed % 3;
+      config.cardinality = 6;
+      config.seed = seed;
+      Dataset data = gen::Generate(config);
+      PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+      Rng rng(seed * 17);
+      for (size_t order = 0; order <= 3; ++order) {
+        PreferenceProfile query =
+            order == 0 ? PreferenceProfile(data.schema())
+                       : gen::RandomImplicitQuery(data, tmpl, order, &rng);
+        DominanceComparator reference(data, query);
+        CompiledProfile kernel(data.schema(), query);
+        PackedBlock block;
+        block.Pack(kernel, data, AllRows(data.num_rows()));
+        for (RowId p = 0; p < data.num_rows(); ++p) {
+          for (RowId q = 0; q < data.num_rows(); ++q) {
+            DomResult expected = reference.Compare(p, q);
+            DomResult got =
+                ComparePairTier(tier, kernel, block.row(p), block.row(q));
+            ASSERT_EQ(got, expected)
+                << KernelTierName(tier) << " seed " << seed << " order "
+                << order << " p=" << p << " q=" << q;
+            ++outcome_counts[static_cast<size_t>(expected)];
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < outcome_counts.size(); ++i) {
+      EXPECT_GT(outcome_counts[i], 0u)
+          << KernelTierName(tier) << ": outcome " << i << " never exercised";
+    }
+  }
+}
+
+// The semantic corners that killed naive vectorizations: NaN numerics
+// (IEEE `<` false both ways — reads as a tie on that dimension), -0.0 vs
+// +0.0 after sign-folding (equal, not related), and kUnlistedRank
+// sentinels (distinct unlisted values clash to INCOMPARABLE; the rank tie
+// must not read as equality).
+TEST(SimdDispatchTest, NanSignedZeroAndUnlistedRankEdgeCases) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema = PaperSchema();
+  Dataset data(schema);
+  ASSERT_TRUE(data.Append({{100, 3}, {0}}).ok());   // 0: T baseline
+  ASSERT_TRUE(data.Append({{nan, 3}, {0}}).ok());   // 1: NaN price
+  ASSERT_TRUE(data.Append({{nan, 3}, {0}}).ok());   // 2: NaN price again
+  ASSERT_TRUE(data.Append({{-0.0, 3}, {0}}).ok());  // 3: negative zero
+  ASSERT_TRUE(data.Append({{+0.0, 3}, {0}}).ok());  // 4: positive zero
+  ASSERT_TRUE(data.Append({{100, 3}, {1}}).ok());   // 5: H (unlisted)
+  ASSERT_TRUE(data.Append({{100, 3}, {2}}).ok());   // 6: M (unlisted)
+  ASSERT_TRUE(data.Append({{50, 3}, {1}}).ok());    // 7: better price, H
+
+  auto profile = PreferenceProfile::Parse(schema, {{"hotel_group", "T<*"}})
+                     .ValueOrDie();
+  CompiledProfile kernel(schema, profile);
+  PackedBlock block;
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+
+  for (KernelTier tier : AvailableKernelTiers()) {
+    auto cmp = [&](RowId p, RowId q) {
+      return ComparePairTier(tier, kernel, block.row(p), block.row(q));
+    };
+    // Every pair must agree with the scalar kernel byte for byte.
+    for (RowId p = 0; p < data.num_rows(); ++p) {
+      for (RowId q = 0; q < data.num_rows(); ++q) {
+        ASSERT_EQ(cmp(p, q), kernel.Compare(block.row(p), block.row(q)))
+            << KernelTierName(tier) << " p=" << p << " q=" << q;
+      }
+    }
+    // And the corners must read as specified.
+    EXPECT_EQ(cmp(1, 2), DomResult::kEqual) << KernelTierName(tier);
+    EXPECT_EQ(cmp(0, 1), DomResult::kEqual) << KernelTierName(tier);
+    EXPECT_EQ(cmp(3, 4), DomResult::kEqual) << KernelTierName(tier);
+    EXPECT_EQ(cmp(5, 6), DomResult::kIncomparable) << KernelTierName(tier);
+    EXPECT_EQ(cmp(6, 5), DomResult::kIncomparable) << KernelTierName(tier);
+    EXPECT_EQ(cmp(0, 5), DomResult::kLeftDominates) << KernelTierName(tier);
+    // Better price but clashing unlisted nominal: still incomparable.
+    EXPECT_EQ(cmp(7, 6), DomResult::kIncomparable) << KernelTierName(tier);
+  }
+}
+
+// One-vs-many scans: FindDominatorTier / FindRelatedTier must return the
+// same first-hit index (and relation) as a scalar walk, from every start
+// offset that a window compaction could produce.
+TEST(SimdDispatchTest, BlockScansMatchScalarWalkEveryTier) {
+  gen::GenConfig config;
+  config.num_rows = 160;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = 61;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(62);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  CompiledProfile kernel(data.schema(), query);
+  PackedBlock block;
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+  const size_t n = block.size();
+  const size_t stride = block.stride();
+
+  for (KernelTier tier : AvailableKernelTiers()) {
+    for (RowId p = 0; p < 48; ++p) {
+      const uint64_t* probe = block.row(p);
+      // Scalar expectations.
+      size_t exp_dom = n, exp_rel = n;
+      DomResult exp_rel_result = DomResult::kIncomparable;
+      for (size_t i = 0; i < n; ++i) {
+        const DomResult r = kernel.Compare(block.row(i), probe);
+        if (exp_dom == n && r == DomResult::kLeftDominates) exp_dom = i;
+        if (exp_rel == n && (r == DomResult::kLeftDominates ||
+                             r == DomResult::kRightDominates)) {
+          exp_rel = i;
+          exp_rel_result = r;
+        }
+      }
+      ASSERT_EQ(FindDominatorTier(tier, kernel, probe, block.row(0), n,
+                                  stride),
+                exp_dom)
+          << KernelTierName(tier) << " p=" << p;
+      DomResult rel_result = DomResult::kIncomparable;
+      ASSERT_EQ(FindRelatedTier(tier, kernel, probe, block.row(0), n, stride,
+                                &rel_result),
+                exp_rel)
+          << KernelTierName(tier) << " p=" << p;
+      if (exp_rel < n) {
+        ASSERT_EQ(rel_result, exp_rel_result)
+            << KernelTierName(tier) << " p=" << p;
+      }
+    }
+  }
+}
+
+// A wide schema (6 numeric + 5 nominal = 11 slots, 16-slot stride) drives
+// the multi-group path, including the group that straddles the
+// numeric/nominal boundary and the all-padding final group.
+TEST(SimdDispatchTest, MultiGroupStrideMatchesReference) {
+  gen::GenConfig config;
+  config.num_rows = 90;
+  config.num_numeric = 6;
+  config.num_nominal = 5;
+  config.cardinality = 4;
+  config.seed = 71;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(72);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 3, &rng);
+  DominanceComparator reference(data, query);
+  CompiledProfile kernel(data.schema(), query);
+  ASSERT_EQ(kernel.row_slots(), 16u);
+  PackedBlock block;
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+  for (KernelTier tier : AvailableKernelTiers()) {
+    for (RowId p = 0; p < data.num_rows(); ++p) {
+      for (RowId q = 0; q < data.num_rows(); ++q) {
+        ASSERT_EQ(ComparePairTier(tier, kernel, block.row(p), block.row(q)),
+                  reference.Compare(p, q))
+            << KernelTierName(tier) << " p=" << p << " q=" << q;
+      }
+    }
+  }
+}
+
+// General-model tiers: vectorized numeric section + scalar relation-table
+// scan must match the reference comparator pairwise, and the one-vs-many
+// scan must agree with a scalar walk.
+TEST(SimdDispatchTest, GeneralProfileTiersMatchReference) {
+  gen::GenConfig config;
+  config.num_rows = 100;
+  config.num_nominal = 2;
+  config.cardinality = 5;
+  config.seed = 81;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  Rng rng(82);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  std::vector<PartialOrder> orders;
+  for (size_t j = 0; j < query.num_nominal(); ++j) {
+    orders.push_back(query.pref(j).ToPartialOrder());
+  }
+  GeneralDominanceComparator reference(data, orders);
+  CompiledGeneralProfile kernel(data.schema(), orders);
+  PackedBlock block;
+  block.Pack(kernel, data, AllRows(data.num_rows()));
+  const size_t n = block.size();
+  for (KernelTier tier : AvailableKernelTiers()) {
+    for (RowId p = 0; p < n; ++p) {
+      for (RowId q = 0; q < n; ++q) {
+        ASSERT_EQ(ComparePairTier(tier, kernel, block.row(p), block.row(q)),
+                  reference.Compare(p, q))
+            << KernelTierName(tier) << " p=" << p << " q=" << q;
+      }
+    }
+    for (RowId p = 0; p < 32; ++p) {
+      const uint64_t* probe = block.row(p);
+      size_t expected = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (kernel.Compare(block.row(i), probe) ==
+            DomResult::kLeftDominates) {
+          expected = i;
+          break;
+        }
+      }
+      ASSERT_EQ(FindDominatorTier(tier, kernel, probe, block.row(0), n,
+                                  block.stride()),
+                expected)
+          << KernelTierName(tier) << " p=" << p;
+    }
+  }
 }
 
 TEST(PackedWindowTest, AppendCompactPromote) {

@@ -119,6 +119,42 @@ TEST(ShardImageRoundTripTest, SaveLoadIsBitExact) {
   std::remove(path.c_str());
 }
 
+// Determinism of the on-disk bytes themselves: packed rows zero their
+// padding slots (kernel.h contract), so two independent packs of the same
+// data must serialize to byte-identical image files. Before the padding
+// contract the uninitialized pad slots leaked whatever the allocator held,
+// making otherwise-identical images differ.
+TEST(ShardImageRoundTripTest, TwoPacksOfSameDataAreByteIdentical) {
+  RandomCase c = MakeCase(53, 280);
+  ThreadPool pool(2);
+  std::string path_a = TempPath("pack_a");
+  std::string path_b = TempPath("pack_b");
+  {
+    auto engine = BuildRaw("sfsd", c, 4, &pool);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->SaveImage(path_a).ok());
+  }
+  {
+    // A second engine packs the same rows into fresh (differently warmed)
+    // buffers.
+    auto engine = BuildRaw("sfsd", c, 4, &pool);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_TRUE(engine->SaveImage(path_b).ok());
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string bytes_a = slurp(path_a);
+  const std::string bytes_b = slurp(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 // The acceptance criterion: for every registered inner engine at 1/2/8
 // shards, the image-loaded engine answers byte-identically (same rows,
 // same emission order) to the raw-built one — through CreateFromImage and

@@ -379,8 +379,8 @@ int Run(int argc, char** argv) {
   }
 
   auto print_plan = [](const PlanDecision& decision) {
-    std::fprintf(stderr, "plan: %s (%s)\n", decision.engine.c_str(),
-                 decision.reason.c_str());
+    std::fprintf(stderr, "plan: %s (%s) kernel=%s\n", decision.engine.c_str(),
+                 decision.reason.c_str(), decision.kernel_tier.c_str());
   };
   auto print_auto_stats = [&] {
     if (auto_engine == nullptr) return;
