@@ -1,0 +1,256 @@
+// Networked serving: end-to-end latency through the full wire stack —
+// client -> ServingExecutor -> frame protocol -> ShardServer fan-out ->
+// merge — against the same queries on a local in-process ShardedEngine.
+//
+// The cluster is real: N ShardServers listening on ephemeral localhost
+// ports, each bootstrapped by PUSHING its single-shard image over the wire
+// (kLoadShard — the bytes a cold server would receive), then a front-end
+// executor fanning every query out and merging. Before any number is
+// reported the executor and the local engine must answer every query
+// identically; a divergence exits 1.
+//
+// Reported per client count: p50 and p99 request latency (closed loop,
+// each client issues its next request as the previous one completes), the
+// local engine's mean query time as the no-network floor, and the wire
+// bootstrap time. Percentiles are split into separate engine entries
+// ("serve-p50", "serve-p99") so the regression gate can hold p99 — the
+// far-noisier tail — to its own budget (see check_bench_regression.py).
+//
+// Everything runs on one machine sharing cores, so QPS here is a
+// plumbing-overhead probe, not a capacity claim.
+//
+// NOMSKY_SCALE scales the dataset; NOMSKY_QUERIES scales request volume.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "harness.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/serving_executor.h"
+#include "serve/shard_server.h"
+
+using namespace nomsky;
+
+namespace {
+
+constexpr size_t kServers = 2;
+
+// One shard of the reference engine as a single-shard image: what each
+// backend of the cluster is bootstrapped with.
+std::string SingleShardImage(const ShardedEngine& engine, size_t s) {
+  auto snap = engine.snapshot(s);
+  std::ostringstream out;
+  Status status = ShardImage::Save(
+      out, "bench slice", engine.schema(), ShardPolicy::kHash,
+      engine.source_rows(),
+      {ShardImage::ShardRef{&snap->data, &snap->global_rows, &snap->packed}});
+  if (!status.ok()) {
+    std::fprintf(stderr, "image: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(out).str();
+}
+
+// Raw-frame push: the executor's handshake requires ready servers, so the
+// bootstrap goes over a bare connection (same as the CLI's --push-image).
+void PushImage(uint16_t port, const std::string& image) {
+  auto socket = net::TcpSocket::Connect("127.0.0.1", port);
+  if (!socket.ok() ||
+      !net::SendFrame(*socket, net::FrameType::kLoadShard, image).ok()) {
+    std::fprintf(stderr, "push to :%u failed\n", port);
+    std::exit(1);
+  }
+  auto reply = net::RecvFrame(*socket, 60'000);
+  if (!reply.ok() || reply->type != net::FrameType::kOk) {
+    std::fprintf(stderr, "push to :%u rejected: %s\n", port,
+                 reply.ok() ? reply->payload.c_str()
+                            : reply.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+double Percentile(std::vector<double>& sorted_seconds, double p) {
+  const size_t n = sorted_seconds.size();
+  if (n == 0) return 0.0;
+  const size_t idx = std::min(n - 1, static_cast<size_t>(p * n));
+  return sorted_seconds[idx];
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kDatasetSeed = 42;
+  gen::GenConfig config;
+  config.num_rows = bench::ScaledRows(40000);
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = kDatasetSeed;
+  Dataset data = gen::Generate(config);
+
+  // The serving stack runs under the EMPTY template (an image carries no
+  // template), so the local reference engine does too.
+  PreferenceProfile tmpl(data.schema());
+  ThreadPool pool(4);
+  EngineOptions engine_options;
+  engine_options.pool = &pool;
+  engine_options.data_shards = kServers;
+  auto local = ShardedEngine::Create("sfsd", data, tmpl, engine_options);
+  if (!local.ok()) {
+    std::fprintf(stderr, "local: %s\n", local.status().ToString().c_str());
+    return 1;
+  }
+
+  // A small rotation of query texts: repeated spellings are the serving
+  // reality the parsed-query caches exist for.
+  const std::vector<std::string> texts = {
+      "nom0: v1<v0<*",
+      "nom1: v2<*",
+      "nom0: v3<v5<*; nom1: v0<*",
+      "nom1: v4<v1<v2<*",
+      "",  // numeric-only skyline
+      "nom0: v2<*; nom1: v3<v5<*",
+  };
+
+  // ---- Cluster up: wire bootstrap is part of the record ---------------
+  std::vector<std::unique_ptr<serve::ShardServer>> servers;
+  std::vector<serve::Endpoint> endpoints;
+  for (size_t s = 0; s < kServers; ++s) {
+    auto server =
+        std::make_unique<serve::ShardServer>(serve::ShardServer::Options{});
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "server %zu failed to start\n", s);
+      return 1;
+    }
+    endpoints.push_back(serve::Endpoint{"127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  WallTimer bootstrap_timer;
+  for (size_t s = 0; s < kServers; ++s) {
+    PushImage(servers[s]->port(), SingleShardImage(**local, s));
+  }
+  const double bootstrap_wall = bootstrap_timer.ElapsedSeconds();
+
+  serve::ServingExecutor::Options serve_options;
+  auto executor = serve::ServingExecutor::Connect(endpoints, serve_options);
+  if (!executor.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 executor.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Equivalence before any timing ----------------------------------
+  for (const std::string& text : texts) {
+    auto query = PreferenceProfile::ParseText(data.schema(), text);
+    auto expected = query.ok() ? (*local)->Query(*query)
+                               : Result<std::vector<RowId>>(query.status());
+    auto reply = (*executor)->Execute(text);
+    if (!expected.ok() || !reply.ok() || reply->rows != *expected) {
+      std::fprintf(stderr, "served answer diverges on \"%s\"\n",
+                   text.c_str());
+      return 1;
+    }
+  }
+
+  // ---- Latency sweep over client counts -------------------------------
+  const size_t requests_per_point =
+      std::max<size_t>(60, 30 * bench::EnvQueries(4));
+  std::vector<bench::PointMetrics> points;
+  for (size_t clients : {size_t{1}, size_t{4}}) {
+    std::vector<std::vector<double>> latencies(clients);
+    WallTimer sweep_timer;
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        const size_t share = requests_per_point / clients;
+        latencies[c].reserve(share);
+        for (size_t i = 0; i < share; ++i) {
+          const std::string& text = texts[(c + i) % texts.size()];
+          WallTimer request_timer;
+          auto reply = (*executor)->Execute(text);
+          if (!reply.ok()) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         reply.status().ToString().c_str());
+            std::exit(1);
+          }
+          latencies[c].push_back(request_timer.ElapsedSeconds());
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double sweep_wall = sweep_timer.ElapsedSeconds();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double p50 = Percentile(all, 0.50);
+    const double p99 = Percentile(all, 0.99);
+    const double qps = sweep_wall > 0.0 ? all.size() / sweep_wall : 0.0;
+
+    // The no-network floor: the same rotation on the local engine.
+    WallTimer local_timer;
+    size_t local_runs = 0;
+    for (size_t i = 0; i < texts.size(); ++i, ++local_runs) {
+      auto query = PreferenceProfile::ParseText(data.schema(), texts[i]);
+      if (!query.ok() || !(*local)->Query(*query).ok()) return 1;
+    }
+    const double local_mean =
+        local_runs > 0 ? local_timer.ElapsedSeconds() / local_runs : 0.0;
+
+    std::printf(
+        "serving %zu client(s): %zu requests, p50 %7.3f ms, p99 %7.3f ms, "
+        "%7.1f qps (single machine; local-engine floor %7.3f ms)\n",
+        clients, all.size(), 1e3 * p50, 1e3 * p99, qps, 1e3 * local_mean);
+
+    bench::PointMetrics point;
+    point.label = std::to_string(clients) + " client" +
+                  (clients == 1 ? "" : "s");
+    point.dataset_seed = kDatasetSeed;
+    bench::EngineMetrics p50_metrics;
+    p50_metrics.name = "serve-p50";
+    p50_metrics.threads = clients;
+    p50_metrics.avg_query_s = p50;
+    p50_metrics.preprocess_s = bootstrap_wall;
+    point.engines.push_back(p50_metrics);
+    bench::EngineMetrics p99_metrics;
+    p99_metrics.name = "serve-p99";  // "p99" arms the gate's tail budget
+    p99_metrics.threads = clients;
+    p99_metrics.avg_query_s = p99;
+    point.engines.push_back(p99_metrics);
+    bench::EngineMetrics local_metrics;
+    local_metrics.name = "local-engine";
+    local_metrics.threads = clients;
+    local_metrics.avg_query_s = local_mean;
+    point.engines.push_back(local_metrics);
+    points.push_back(point);
+  }
+  bench::PrintFigure(
+      "Networked serving: end-to-end latency over " +
+          std::to_string(kServers) + " shard servers, sharded:sfsd, " +
+          std::to_string(data.num_rows()) + " rows (single machine)",
+      points);
+
+  const Status shutdown = (*executor)->ShutdownAll();
+  if (!shutdown.ok()) {
+    std::fprintf(stderr, "shutdown: %s\n", shutdown.ToString().c_str());
+    return 1;
+  }
+  for (auto& server : servers) {
+    server->WaitUntilStopped();
+  }
+  return 0;
+}

@@ -18,6 +18,13 @@ when
     so a relative budget alone would flake — a real regression at smoke
     scale is both relatively AND absolutely slower.
 
+Tail percentiles get their own noise floor: entries whose engine name
+contains "p99" (bench_serving records "serve-p99") are gated with
+--p99-tolerance / --p99-min-delta-seconds instead. A p99 over a few dozen
+requests is one order statistic — a single scheduler hiccup on a shared
+runner moves it several-fold — so its budget must be far looser than a
+mean's or the gate flakes on every busy machine.
+
 Only the in-tree harness schema (a top-level JSON array of figures, see
 bench/harness.cc) is checked; other JSON files (e.g. google-benchmark's
 BENCH_micro.json) are skipped with a note.
@@ -87,6 +94,12 @@ def main():
                         help="baseline means below this are noise; skip")
     parser.add_argument("--min-delta-seconds", type=float, default=5e-3,
                         help="absolute slowdown below this is noise; pass")
+    parser.add_argument("--p99-tolerance", type=float, default=2.0,
+                        help="slowdown budget for p99 entries (default 2.0 "
+                             "= 3x: a tail over tens of requests is one "
+                             "order statistic)")
+    parser.add_argument("--p99-min-delta-seconds", type=float, default=25e-3,
+                        help="absolute p99 slowdown below this is noise")
     args = parser.parse_args()
 
     fresh_files = sorted(args.fresh.glob("BENCH_*.json"))
@@ -137,9 +150,13 @@ def main():
             if base_mean < args.min_seconds:
                 continue
             compared += 1
+            is_tail = "p99" in key[2]
+            tolerance = args.p99_tolerance if is_tail else args.tolerance
+            min_delta = (args.p99_min_delta_seconds if is_tail
+                         else args.min_delta_seconds)
             slowdown = (fresh_mean - base_mean) / base_mean
-            if (slowdown > args.tolerance
-                    and fresh_mean - base_mean > args.min_delta_seconds):
+            if (slowdown > tolerance
+                    and fresh_mean - base_mean > min_delta):
                 fi, label, engine, threads, metric = key
                 regressions.append(
                     f"{fresh_path.name} figure {fi} [{label}] {engine} "

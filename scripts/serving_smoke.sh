@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke: a localhost shard cluster built from
+# --split-shards images, driven entirely through the public CLI.
+#
+#   1. generate a small CSV and compute the local (in-process) answers —
+#      the ground truth the served answers must match byte for byte;
+#   2. split the table into per-server single-shard images;
+#   3. launch one nomsky_cli --serve process per image on an ephemeral
+#      port, reading the bound address off each server's stdout;
+#   4. query the cluster through --connect and diff against the local run;
+#   5. refresh shard 0 over the wire MID-STREAM (epoch swap while the
+#      servers keep serving), query again, diff again;
+#   6. assert the refresh registered in --stats (refreshes=1);
+#   7. --shutdown every server and require BOTH exit 0;
+#   8. fail if any server process leaks past shutdown.
+#
+# Usage: scripts/serving_smoke.sh [--build-dir DIR]
+#   --build-dir  build tree holding tools/nomsky_cli
+#                (default: build/release if present, else build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="${2:?--build-dir requires a value}"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+if [[ -z "$build_dir" ]]; then
+  if [[ -d build/release ]]; then build_dir=build/release; else build_dir=build; fi
+fi
+cli="$build_dir/tools/nomsky_cli"
+if [[ ! -x "$cli" ]]; then
+  echo "no CLI at $cli; build first (cmake --preset release && cmake --build --preset release)" >&2
+  exit 1
+fi
+cli="$(pwd)/$cli"
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/nomsky_smoke.XXXXXX")"
+server_pids=()
+cleanup() {
+  local status=$? pid
+  for pid in "${server_pids[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+    fi
+  done
+  if [[ $status -eq 0 ]]; then
+    rm -rf "$workdir"
+  else
+    echo "smoke failed; logs kept under $workdir" >&2
+  fi
+}
+trap cleanup EXIT
+
+schema='price:min,stars:max,group:nom{T|H|M},airline:nom{G|R|W}'
+
+# Deterministic pseudo-random table: enough rows that both shards hold
+# skyline winners, with ties and dominated rows mixed in.
+awk 'BEGIN {
+  print "price,stars,group,airline"
+  groups = "T H M"; airlines = "G R W"
+  split(groups, g, " "); split(airlines, a, " ")
+  seed = 17
+  for (i = 0; i < 240; ++i) {
+    seed = (seed * 1103515245 + 12345) % 2147483648
+    price = 50 + seed % 200
+    seed = (seed * 1103515245 + 12345) % 2147483648
+    stars = 1 + seed % 5
+    seed = (seed * 1103515245 + 12345) % 2147483648
+    gi = 1 + seed % 3
+    seed = (seed * 1103515245 + 12345) % 2147483648
+    ai = 1 + seed % 3
+    printf "%d,%d,%s,%s\n", price, stars, g[gi], a[ai]
+  }
+}' > "$workdir/data.csv"
+
+cat > "$workdir/queries.txt" <<'EOF'
+group: T<M<*; airline: G<*
+airline: R<*
+group: H<*
+EOF
+
+echo "--- local ground truth + per-server shard images"
+"$cli" --csv "$workdir/data.csv" --schema "$schema" \
+       --engine sharded:sfsd --shards 2 \
+       --split-shards "$workdir/part" \
+       --batch "$workdir/queries.txt" > "$workdir/local.out"
+for s in 0 1; do
+  [[ -s "$workdir/part.$s.nshi" ]] || { echo "missing shard image $s" >&2; exit 1; }
+done
+
+echo "--- launching 2 shard servers"
+ports=()
+for s in 0 1; do
+  "$cli" --serve 0 --load-shards "$workdir/part.$s.nshi" \
+         > "$workdir/server$s.out" 2> "$workdir/server$s.err" &
+  server_pids[$s]=$!
+done
+for s in 0 1; do
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$workdir/server$s.out")"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "${server_pids[$s]}" 2>/dev/null; then
+      echo "server $s died during startup:" >&2
+      cat "$workdir/server$s.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "server $s never printed its port" >&2
+    exit 1
+  fi
+  ports[$s]="$port"
+done
+cluster="127.0.0.1:${ports[0]},127.0.0.1:${ports[1]}"
+echo "cluster: $cluster"
+
+echo "--- served answers must match the local engine"
+"$cli" --connect "$cluster" --batch "$workdir/queries.txt" > "$workdir/served.out"
+diff -u "$workdir/local.out" "$workdir/served.out"
+
+echo "--- refresh shard 0 over the wire, then query again (mid-stream)"
+"$cli" --connect "127.0.0.1:${ports[0]}" --refresh "0:$workdir/part.0.nshi"
+"$cli" --connect "$cluster" --batch "$workdir/queries.txt" > "$workdir/served2.out"
+diff -u "$workdir/local.out" "$workdir/served2.out"
+
+echo "--- stats must show the refresh landed"
+"$cli" --connect "$cluster" --stats > "$workdir/stats.out"
+cat "$workdir/stats.out"
+grep -q "127\.0\.0\.1:${ports[0]}: .*refreshes=1" "$workdir/stats.out" || {
+  echo "server 0 did not record refreshes=1" >&2
+  exit 1
+}
+
+echo "--- graceful shutdown"
+"$cli" --connect "$cluster" --shutdown
+for s in 0 1; do
+  if ! wait "${server_pids[$s]}"; then
+    echo "server $s exited nonzero:" >&2
+    cat "$workdir/server$s.err" >&2
+    exit 1
+  fi
+done
+
+echo "--- leak check"
+leaked=0
+for s in 0 1; do
+  if kill -0 "${server_pids[$s]}" 2>/dev/null; then
+    echo "server $s (pid ${server_pids[$s]}) is still alive" >&2
+    leaked=1
+  fi
+done
+server_pids=()
+if pgrep -f -- "--load-shards $workdir/part" > /dev/null 2>&1; then
+  echo "leaked server processes still reference $workdir" >&2
+  leaked=1
+fi
+[[ $leaked -eq 0 ]]
+
+echo "serving smoke: OK"

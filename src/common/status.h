@@ -25,6 +25,9 @@ enum class StatusCode : int {
   kConflict = 5,     // e.g. preferences that contradict the template
   kUnsupported = 6,  // e.g. value not materialized in a truncated IPO-tree
   kInternal = 7,
+  kUnavailable = 8,        // transient: peer reset / connection refused
+  kDeadlineExceeded = 9,   // request missed its deadline
+  kResourceExhausted = 10, // admission control shed the request
 };
 
 /// \brief Returns a stable, human-readable name for a status code.
@@ -62,6 +65,13 @@ class Status {
   bool IsConflict() const { return code() == StatusCode::kConflict; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// \brief Renders "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -95,6 +105,18 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
 
  private:

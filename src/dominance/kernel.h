@@ -367,6 +367,23 @@ class PackedBlock {
     }
   }
 
+  /// \brief Resets to an empty block with the given stride, ready for
+  /// AppendRaw. Keeps the buffer (append re-grows from live capacity).
+  void Reset(size_t stride) {
+    stride_ = stride;
+    ids_.clear();
+  }
+
+  /// \brief Appends one already-packed row (stride() slots) verbatim. The
+  /// serving layer assembles response blocks this way: result rows are
+  /// copied straight out of the snapshots' neutral blocks, never re-packed.
+  void AppendRaw(const uint64_t* row, RowId id) {
+    buf_.EnsureCapacity((ids_.size() + 1) * stride_, ids_.size() * stride_);
+    std::memcpy(buf_.data() + ids_.size() * stride_, row,
+                stride_ * sizeof(uint64_t));
+    ids_.push_back(id);
+  }
+
   /// \brief Serializes stride, row ids and raw slots. Meaningful only for
   /// blocks packed under a profile-independent (neutral) compilation — the
   /// writer persists the bytes as-is.

@@ -22,13 +22,53 @@ constexpr uint64_t kMaxRows = 1ull << 40;
 
 }  // namespace
 
-Status ShardImage::Save(const std::string& path, const Schema& schema,
-                        ShardPolicy policy, uint64_t source_rows,
-                        const std::vector<ShardRef>& shards) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::Internal("cannot open '", path, "' for writing");
+Result<Dataset> DatasetFromNeutralPacked(const Schema& schema,
+                                         const PackedBlock& packed,
+                                         const std::string& context) {
+  const CompiledProfile neutral(schema, PreferenceProfile(schema));
+  if (packed.stride() != neutral.row_slots()) {
+    return Status::InvalidArgument(context, ": packed stride ",
+                                   packed.stride(), " does not match schema (",
+                                   neutral.row_slots(), " slots per row)");
   }
+  const size_t num_numeric = schema.num_numeric();
+  const size_t num_nominal = schema.num_nominal();
+  const size_t rows = packed.size();
+
+  std::vector<std::vector<double>> numeric(num_numeric);
+  std::vector<std::vector<ValueId>> nominal(num_nominal);
+  for (auto& c : numeric) c.reserve(rows);
+  for (auto& c : nominal) c.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const uint64_t* row = packed.row(i);
+    for (size_t d = 0; d < num_numeric; ++d) {
+      numeric[d].push_back(neutral.numeric_sign(d) *
+                           std::bit_cast<double>(row[d]));
+    }
+    for (size_t j = 0; j < num_nominal; ++j) {
+      const uint64_t slot = row[num_numeric + j];
+      // Neutral packs carry the unlisted rank in every high word; any
+      // other value means the block was not packed under the empty
+      // profile (or the bytes are corrupt).
+      if (static_cast<uint32_t>(slot >> 32) != CompiledProfile::kUnlistedRank) {
+        return Status::InvalidArgument(context, " is not neutral-packed");
+      }
+      nominal[j].push_back(static_cast<ValueId>(slot));
+    }
+  }
+  auto data =
+      Dataset::FromColumns(schema, std::move(numeric), std::move(nominal));
+  if (!data.ok()) {
+    return Status::InvalidArgument(context, " has invalid rows: ",
+                                   data.status().message());
+  }
+  return std::move(data).ValueOrDie();
+}
+
+Status ShardImage::Save(std::ostream& out, const std::string& context,
+                        const Schema& schema, ShardPolicy policy,
+                        uint64_t source_rows,
+                        const std::vector<ShardRef>& shards) {
   BinaryWriter writer(out);
   writer.Magic(kMagic, kVersion);
   WriteSchema(writer, schema);
@@ -52,21 +92,30 @@ Status ShardImage::Save(const std::string& path, const Schema& schema,
   }
   writer.Bytes(kFooter, 4);
   out.flush();
-  if (!writer.ok()) return Status::Internal("write to '", path, "' failed");
+  if (!writer.ok()) return Status::Internal("write to ", context, " failed");
   return Status::OK();
 }
 
-Result<ShardImage> ShardImage::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::NotFound("cannot open '", path, "'");
+Status ShardImage::Save(const std::string& path, const Schema& schema,
+                        ShardPolicy policy, uint64_t source_rows,
+                        const std::vector<ShardRef>& shards) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '", path, "' for writing");
+  }
+  return Save(out, "'" + path + "'", schema, policy, source_rows, shards);
+}
+
+Result<ShardImage> ShardImage::Load(std::istream& in,
+                                    const std::string& context) {
   BinaryReader reader(in);
 
   uint32_t version = 0;
   if (!reader.Magic(kMagic, &version)) {
-    return Status::InvalidArgument("'", path, "' is not a shard image");
+    return Status::InvalidArgument(context, " is not a shard image");
   }
   if (version != kVersion) {
-    return Status::InvalidArgument("'", path, "' has shard image version ",
+    return Status::InvalidArgument(context, " has shard image version ",
                                    version, "; this build reads version ",
                                    kVersion);
   }
@@ -78,84 +127,58 @@ Result<ShardImage> ShardImage::Load(const std::string& path) {
   if (!reader.Pod(&policy) || policy > 1 || !reader.Pod(&num_shards) ||
       num_shards == 0 || num_shards > kMaxShards ||
       !reader.Pod(&image.source_rows) || image.source_rows > kMaxRows) {
-    return Status::InvalidArgument("'", path, "' has a corrupt header");
+    return Status::InvalidArgument(context, " has a corrupt header");
   }
   image.policy = policy == 1 ? ShardPolicy::kRange : ShardPolicy::kHash;
 
   const Schema& schema = image.schema;
   const CompiledProfile neutral(schema, PreferenceProfile(schema));
   const size_t stride = neutral.row_slots();
-  const size_t num_numeric = schema.num_numeric();
-  const size_t num_nominal = schema.num_nominal();
 
   image.shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     Shard shard(schema);
     if (!reader.PodVector(&shard.global_rows, image.source_rows)) {
-      return Status::InvalidArgument("'", path, "' truncated (shard ", s,
+      return Status::InvalidArgument(context, " truncated (shard ", s,
                                      " row map)");
     }
     for (RowId g : shard.global_rows) {
       if (g >= image.source_rows) {
-        return Status::InvalidArgument("'", path, "' shard ", s,
+        return Status::InvalidArgument(context, " shard ", s,
                                        " maps to out-of-range global row ", g);
       }
     }
     if (!shard.packed.ReadFrom(reader, image.source_rows, stride) ||
         shard.packed.size() != shard.global_rows.size()) {
-      return Status::InvalidArgument("'", path, "' truncated (shard ", s,
+      return Status::InvalidArgument(context, " truncated (shard ", s,
                                      " packed rows)");
     }
     const size_t rows = shard.packed.size();
     for (size_t i = 0; i < rows; ++i) {
       if (shard.packed.row_id(i) != i) {
-        return Status::InvalidArgument("'", path, "' shard ", s,
+        return Status::InvalidArgument(context, " shard ", s,
                                        " packed ids are not the identity");
       }
     }
 
-    // Transpose the packed rows back into column storage. Both decodes are
-    // exact inversions of the neutral pack: sign ∈ {±1} so sign*(sign*x)
-    // == x bit-for-bit, and the low 32 bits are the stored ValueId.
-    std::vector<std::vector<double>> numeric(num_numeric);
-    std::vector<std::vector<ValueId>> nominal(num_nominal);
-    for (auto& c : numeric) c.reserve(rows);
-    for (auto& c : nominal) c.reserve(rows);
-    for (size_t i = 0; i < rows; ++i) {
-      const uint64_t* row = shard.packed.row(i);
-      for (size_t d = 0; d < num_numeric; ++d) {
-        numeric[d].push_back(neutral.numeric_sign(d) *
-                             std::bit_cast<double>(row[d]));
-      }
-      for (size_t j = 0; j < num_nominal; ++j) {
-        const uint64_t slot = row[num_numeric + j];
-        // Neutral packs carry the unlisted rank in every high word; any
-        // other value means the block was not packed under the empty
-        // profile (or the bytes are corrupt).
-        if (static_cast<uint32_t>(slot >> 32) !=
-            CompiledProfile::kUnlistedRank) {
-          return Status::InvalidArgument("'", path, "' shard ", s,
-                                         " is not neutral-packed");
-        }
-        nominal[j].push_back(static_cast<ValueId>(slot));
-      }
-    }
-    auto data = Dataset::FromColumns(schema, std::move(numeric),
-                                     std::move(nominal));
-    if (!data.ok()) {
-      return Status::InvalidArgument("'", path, "' shard ", s,
-                                     " has invalid rows: ",
-                                     data.status().message());
-    }
-    shard.data = std::move(data).ValueOrDie();
+    NOMSKY_ASSIGN_OR_RETURN(
+        shard.data,
+        DatasetFromNeutralPacked(schema, shard.packed,
+                                 context + " shard " + std::to_string(s)));
     image.shards.push_back(std::move(shard));
   }
 
   char footer[4];
   if (!reader.Bytes(footer, 4) || std::memcmp(footer, kFooter, 4) != 0) {
-    return Status::InvalidArgument("'", path, "' is truncated (no footer)");
+    return Status::InvalidArgument(context, " is truncated (no footer)");
   }
   return image;
+}
+
+Result<ShardImage> ShardImage::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open '", path, "'");
+  return Load(in, "'" + path + "'");
 }
 
 size_t ShardImage::MemoryUsage() const {

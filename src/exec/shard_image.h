@@ -34,6 +34,7 @@
 #ifndef NOMSKY_EXEC_SHARD_IMAGE_H_
 #define NOMSKY_EXEC_SHARD_IMAGE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -75,16 +76,39 @@ struct ShardImage {
                      ShardPolicy policy, uint64_t source_rows,
                      const std::vector<ShardRef>& shards);
 
+  /// \brief Save to any ostream — the wire form is the file form (a shard
+  /// server bootstraps by receiving these bytes in one frame). `context`
+  /// names the destination in error messages.
+  static Status Save(std::ostream& out, const std::string& context,
+                     const Schema& schema, ShardPolicy policy,
+                     uint64_t source_rows,
+                     const std::vector<ShardRef>& shards);
+
   /// \brief Reads and fully validates an image file: header, per-shard
   /// stride, id bounds, value bounds, footer. NotFound when the file
   /// cannot be opened; InvalidArgument on any corruption.
   static Result<ShardImage> Load(const std::string& path);
+
+  /// \brief Load from any istream (e.g. a network payload wrapped in an
+  /// istringstream). Same validation as the path overload.
+  static Result<ShardImage> Load(std::istream& in, const std::string& context);
 
   size_t num_shards() const { return shards.size(); }
 
   /// \brief Heap footprint of columns, id maps and packed blocks.
   size_t MemoryUsage() const;
 };
+
+/// \brief Transposes NEUTRAL-packed rows back into column storage — the
+/// exact inversion of the neutral pack (sign ∈ {±1} so sign*(sign*x) == x
+/// bit-for-bit; a nominal slot's low 32 bits are the raw ValueId). Rejects
+/// blocks whose stride does not match the schema or whose nominal high
+/// words are not the unlisted rank (i.e. not a neutral pack). Shared by the
+/// image loader and the serving front-end, which rebuilds row values from
+/// candidate rows shipped over the wire.
+Result<Dataset> DatasetFromNeutralPacked(const Schema& schema,
+                                         const PackedBlock& packed,
+                                         const std::string& context);
 
 }  // namespace nomsky
 

@@ -1,5 +1,6 @@
 #include "exec/sharded_engine.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "common/timer.h"
@@ -223,6 +224,11 @@ Status ShardedEngine::RebuildShard(size_t s, Dataset rows,
 
 Result<std::vector<RowId>> ShardedEngine::Query(
     const PreferenceProfile& query) const {
+  return QueryServed(query, nullptr);
+}
+
+Result<std::vector<RowId>> ShardedEngine::QueryServed(
+    const PreferenceProfile& query, PackedBlock* neutral_rows) const {
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
 
@@ -264,6 +270,26 @@ Result<std::vector<RowId>> ShardedEngine::Query(
   std::vector<RowId> skyline = MergeShardSkylines(effective, spans);
   last_merge_candidates_.store(candidates, std::memory_order_relaxed);
   last_merge_survivors_.store(skyline.size(), std::memory_order_relaxed);
+
+  if (neutral_rows != nullptr) {
+    // Map the candidate global ids back to their (shard, local) source and
+    // copy the winners' neutral bytes from the SAME pinned snapshots the
+    // query ran on. Only candidates are indexed — the map is skyline-sized,
+    // not table-sized.
+    std::unordered_map<RowId, std::pair<size_t, RowId>> where;
+    where.reserve(candidates);
+    for (size_t s = 0; s < k; ++s) {
+      for (RowId local : locals[s]) {
+        where.emplace(snaps[s]->global_rows[local], std::make_pair(s, local));
+      }
+    }
+    const CompiledProfile neutral(schema_, PreferenceProfile(schema_));
+    neutral_rows->Reset(neutral.row_slots());
+    for (RowId g : skyline) {
+      const auto& [s, local] = where.at(g);
+      neutral_rows->AppendRaw(snaps[s]->packed.row(local), g);
+    }
+  }
   return skyline;
 }
 

@@ -140,6 +140,17 @@ class ShardedEngine : public SkylineEngine {
   Result<std::vector<RowId>> Query(
       const PreferenceProfile& query) const override;
 
+  /// \brief Query + the answer's row payload: when `neutral_rows` is
+  /// non-null it receives the result rows NEUTRAL-packed (schema-derived
+  /// pack, ids = global row ids, same order as the returned vector), copied
+  /// straight from the pinned snapshots' blocks. This is the wire seam: a
+  /// shard server ships the block bytes so the serving front-end can merge
+  /// across servers (and print values) without any shared row store.
+  /// Epoch-consistent with the ids — both come from the same pinned
+  /// snapshots.
+  Result<std::vector<RowId>> QueryServed(const PreferenceProfile& query,
+                                         PackedBlock* neutral_rows) const;
+
   /// \brief Snapshot storage (rows, id maps, packed blocks) + every inner
   /// engine's materialized structures.
   size_t MemoryUsage() const override;

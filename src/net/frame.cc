@@ -1,0 +1,111 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace nomsky {
+namespace net {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "Hello";
+    case FrameType::kHelloAck:
+      return "HelloAck";
+    case FrameType::kLoadShard:
+      return "LoadShard";
+    case FrameType::kQuery:
+      return "Query";
+    case FrameType::kQueryResult:
+      return "QueryResult";
+    case FrameType::kRefresh:
+      return "Refresh";
+    case FrameType::kStats:
+      return "Stats";
+    case FrameType::kStatsResult:
+      return "StatsResult";
+    case FrameType::kShutdown:
+      return "Shutdown";
+    case FrameType::kOk:
+      return "Ok";
+    case FrameType::kError:
+      return "Error";
+  }
+  return "Unknown";
+}
+
+std::array<uint8_t, kFrameHeaderBytes> EncodeFrameHeader(FrameType type,
+                                                         uint32_t length) {
+  std::array<uint8_t, kFrameHeaderBytes> header{};
+  header[0] = kProtocolVersion;
+  header[1] = static_cast<uint8_t>(type);
+  header[2] = 0;  // reserved
+  header[3] = 0;
+  header[4] = static_cast<uint8_t>(length);
+  header[5] = static_cast<uint8_t>(length >> 8);
+  header[6] = static_cast<uint8_t>(length >> 16);
+  header[7] = static_cast<uint8_t>(length >> 24);
+  return header;
+}
+
+Result<Frame> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                uint32_t max_payload) {
+  if (header[0] != kProtocolVersion) {
+    return Status::InvalidArgument("frame version ",
+                                   static_cast<unsigned>(header[0]),
+                                   "; this build speaks version ",
+                                   static_cast<unsigned>(kProtocolVersion));
+  }
+  const uint8_t raw_type = header[1];
+  if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<uint8_t>(FrameType::kError)) {
+    return Status::InvalidArgument("unknown frame type ",
+                                   static_cast<unsigned>(raw_type));
+  }
+  if (header[2] != 0 || header[3] != 0) {
+    return Status::InvalidArgument("nonzero reserved frame bits");
+  }
+  const uint32_t length = static_cast<uint32_t>(header[4]) |
+                          static_cast<uint32_t>(header[5]) << 8 |
+                          static_cast<uint32_t>(header[6]) << 16 |
+                          static_cast<uint32_t>(header[7]) << 24;
+  if (length > max_payload) {
+    return Status::InvalidArgument("frame payload of ", length,
+                                   " bytes exceeds the ", max_payload,
+                                   "-byte cap");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.resize(length);  // caller fills; bounded by the cap above
+  return frame;
+}
+
+Status SendFrame(TcpSocket& socket, FrameType type, std::string_view payload) {
+  if (payload.size() > kDefaultMaxPayload) {
+    return Status::InvalidArgument("refusing to send a ", payload.size(),
+                                   "-byte frame payload");
+  }
+  const auto header =
+      EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()));
+  NOMSKY_RETURN_NOT_OK(socket.SendAll(header.data(), header.size()));
+  if (!payload.empty()) {
+    NOMSKY_RETURN_NOT_OK(socket.SendAll(payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Result<Frame> RecvFrame(TcpSocket& socket, int deadline_ms,
+                        uint32_t max_payload) {
+  uint8_t header[kFrameHeaderBytes];
+  NOMSKY_RETURN_NOT_OK(socket.RecvAll(header, sizeof(header), deadline_ms));
+  NOMSKY_ASSIGN_OR_RETURN(Frame frame,
+                          DecodeFrameHeader(header, max_payload));
+  if (!frame.payload.empty()) {
+    NOMSKY_RETURN_NOT_OK(
+        socket.RecvAll(frame.payload.data(), frame.payload.size(),
+                       deadline_ms));
+  }
+  return frame;
+}
+
+}  // namespace net
+}  // namespace nomsky

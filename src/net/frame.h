@@ -1,0 +1,101 @@
+// The wire protocol of the shard-serving stack: length-prefixed binary
+// frames over TCP. One frame is
+//
+//   header (8 bytes, little-endian):
+//     u8  version   — kProtocolVersion; anything else is rejected
+//     u8  type      — FrameType; unknown values are rejected
+//     u16 reserved  — must be 0 (room for flags without a version bump)
+//     u32 length    — payload byte count, bounds-checked BEFORE any
+//                     allocation against the receiver's payload cap
+//   payload (length bytes) — encoded with BinaryWriter/BinaryReader
+//     (common/serialize.h), the same primitives every on-disk format uses.
+//
+// Robustness is the contract, not an afterthought: a malformed header
+// (wrong version, unknown type, nonzero reserved bits, oversized length)
+// fails DecodeFrameHeader with InvalidArgument and the connection is
+// dropped — the process never crashes, never allocates the claimed length,
+// and never interprets bytes past a rejected header. Truncated payloads
+// surface as the socket layer's Unavailable/DeadlineExceeded.
+//
+// Conversation shape (client speaks first on every exchange):
+//   kHello        -> kHelloAck       schema + shard topology + readiness
+//   kLoadShard    -> kOk | kError    bootstrap: payload IS a shard image
+//   kQuery        -> kQueryResult | kError
+//   kRefresh      -> kOk | kError    single-shard image, RebuildShard
+//   kStats        -> kStatsResult
+//   kShutdown     -> kOk             then the server stops accepting
+//
+// Frame payload caps are asymmetric by design: servers accept large
+// kLoadShard/kRefresh frames (bounded by Options::max_payload), while
+// query/control frames stay small.
+
+#ifndef NOMSKY_NET_FRAME_H_
+#define NOMSKY_NET_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace nomsky {
+namespace net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// \brief Frame header size on the wire.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// \brief Default cap on a received payload. Large enough for a shard
+/// image at bench scale, small enough that a hostile length prefix cannot
+/// OOM the server.
+inline constexpr uint32_t kDefaultMaxPayload = 256u << 20;  // 256 MiB
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kLoadShard = 3,
+  kQuery = 4,
+  kQueryResult = 5,
+  kRefresh = 6,
+  kStats = 7,
+  kStatsResult = 8,
+  kShutdown = 9,
+  kOk = 10,
+  kError = 11,
+};
+
+/// \brief Human-readable frame type name (for logs and error messages).
+const char* FrameTypeName(FrameType type);
+
+/// \brief One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// \brief Encodes the 8-byte header for a payload of `length` bytes.
+std::array<uint8_t, kFrameHeaderBytes> EncodeFrameHeader(FrameType type,
+                                                         uint32_t length);
+
+/// \brief Validates and decodes a header: version, known type, zero
+/// reserved bits, length <= max_payload. Pure function of the 8 bytes —
+/// the unit the sanitizer-gated robustness tests drive directly.
+Result<Frame> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                uint32_t max_payload);
+
+/// \brief Writes one frame (header + payload) to the socket.
+Status SendFrame(TcpSocket& socket, FrameType type, std::string_view payload);
+
+/// \brief Reads one frame; `deadline_ms` budgets the header read and the
+/// payload read each (a stalled peer is detected within 2x the deadline).
+/// Header validation errors are InvalidArgument (protocol violation — drop
+/// the connection); transport errors pass through from the socket layer.
+Result<Frame> RecvFrame(TcpSocket& socket, int deadline_ms,
+                        uint32_t max_payload = kDefaultMaxPayload);
+
+}  // namespace net
+}  // namespace nomsky
+
+#endif  // NOMSKY_NET_FRAME_H_

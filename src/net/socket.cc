@@ -1,0 +1,222 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nomsky {
+namespace net {
+
+namespace {
+
+// Milliseconds left until `deadline`; clamped at 0. A negative budget at
+// entry (deadline_ms <= 0) is mapped to "infinite" by the callers.
+int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+bool IsPeerGone(int err) {
+  return err == ECONNRESET || err == ECONNREFUSED || err == EPIPE ||
+         err == ENOTCONN || err == ETIMEDOUT || err == EHOSTUNREACH ||
+         err == ENETUNREACH;
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("cannot resolve '", host, "': ",
+                               gai_strerror(rc));
+  }
+  int fd = -1;
+  int err = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      err = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return Status::Unavailable("connect to ", host, ":", port, " failed: ",
+                               std::strerror(err));
+  }
+  // Frames are small and latency-bound; never batch them in the kernel.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(fd);
+}
+
+Status TcpSocket::SendAll(const void* data, size_t n) {
+  if (fd_ < 0) return Status::Internal("send on a closed socket");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a reset peer must surface as a Status, not SIGPIPE.
+    ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (IsPeerGone(errno)) {
+        return Status::Unavailable("send failed: ", std::strerror(errno));
+      }
+      return Status::Internal("send failed: ", std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvAll(void* data, size_t n, int deadline_ms) {
+  if (fd_ < 0) return Status::Internal("recv on a closed socket");
+  const bool bounded = deadline_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? deadline_ms : 0);
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int wait = bounded ? RemainingMs(deadline) : -1;
+    if (bounded && wait == 0) {
+      return Status::DeadlineExceeded("recv timed out after ", deadline_ms,
+                                      " ms (", got, "/", n, " bytes)");
+    }
+    int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll failed: ", std::strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("recv timed out after ", deadline_ms,
+                                      " ms (", got, "/", n, " bytes)");
+    }
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (IsPeerGone(errno)) {
+        return Status::Unavailable("recv failed: ", std::strerror(errno));
+      }
+      return Status::Internal("recv failed: ", std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::Unavailable("peer closed the connection (", got, "/", n,
+                                 " bytes)");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket failed: ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("bind 127.0.0.1:", port, " failed: ",
+                            std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("listen failed: ", std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("getsockname failed: ", std::strerror(err));
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("listener is closed");
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return Status::DeadlineExceeded("accept interrupted");
+    }
+    return Status::Internal("poll failed: ", std::strerror(errno));
+  }
+  if (ready == 0) {
+    return Status::DeadlineExceeded("no connection within ", timeout_ms,
+                                    " ms");
+  }
+  int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return Status::Internal("accept failed: ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(conn);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace nomsky

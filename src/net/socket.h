@@ -1,0 +1,100 @@
+// Minimal TCP plumbing for the serving stack: an RAII socket with
+// deadline-aware full-buffer send/recv, and a listener that accepts with a
+// poll timeout so server shutdown never blocks in accept(2).
+//
+// Error taxonomy (what the serving layer's retry policy keys on):
+//   * Unavailable       — the peer is gone or never there: connection
+//                         refused, reset, or EOF mid-message. Transient;
+//                         the front-end reconnects and retries ONCE.
+//   * DeadlineExceeded  — the peer is up but did not produce bytes before
+//                         the caller's deadline. Never retried (the request
+//                         may be executing; a retry would double-run it).
+//   * Internal          — local programming/OS errors (bad fd, ENOMEM...).
+//
+// Localhost-oriented (the shard cluster of bench_serving and CI's
+// serving-smoke runs on 127.0.0.1), but nothing here assumes loopback.
+
+#ifndef NOMSKY_NET_SOCKET_H_
+#define NOMSKY_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace nomsky {
+namespace net {
+
+/// \brief RAII wrapper over a connected TCP socket. Move-only; the fd is
+/// closed on destruction. Not thread-safe: callers serialize per socket
+/// (the serving layer leases a connection to one request at a time).
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// \brief Connects to host:port (numeric IPv4 or a resolvable name).
+  /// Refused/unreachable yields Unavailable.
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// \brief Writes all n bytes. Unavailable on EPIPE/ECONNRESET.
+  Status SendAll(const void* data, size_t n);
+
+  /// \brief Reads exactly n bytes, polling against `deadline_ms` (total
+  /// budget for the whole read, not per chunk; <= 0 means wait forever).
+  /// EOF before n bytes is Unavailable; an expired budget is
+  /// DeadlineExceeded.
+  Status RecvAll(void* data, size_t n, int deadline_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief RAII listening socket. Accept polls so a closed/shut-down
+/// listener wakes sleepers promptly.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// \brief Binds 127.0.0.1:port and listens. port 0 picks an ephemeral
+  /// port — read the bound one back from port().
+  static Result<TcpListener> Listen(uint16_t port);
+
+  /// \brief Accepts one connection, waiting at most `timeout_ms`
+  /// (DeadlineExceeded on timeout, Unavailable once Close() was called).
+  Result<TcpSocket> Accept(int timeout_ms);
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace nomsky
+
+#endif  // NOMSKY_NET_SOCKET_H_

@@ -32,6 +32,23 @@ Result<PreferenceProfile> PreferenceProfile::Parse(
   return profile;
 }
 
+Result<PreferenceProfile> PreferenceProfile::ParseText(
+    const Schema& schema, const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> prefs;
+  for (const std::string& raw : Split(text, ';')) {
+    std::string part = Trim(raw);
+    if (part.empty()) continue;
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("preference '", part,
+                                     "' missing 'dim: ...'");
+    }
+    prefs.emplace_back(Trim(part.substr(0, colon)),
+                       Trim(part.substr(colon + 1)));
+  }
+  return Parse(schema, prefs);
+}
+
 Status PreferenceProfile::SetPref(size_t nominal_idx, ImplicitPreference pref) {
   if (nominal_idx >= prefs_.size()) {
     return Status::OutOfRange("nominal index ", nominal_idx, " out of range");

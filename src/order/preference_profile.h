@@ -35,6 +35,14 @@ class PreferenceProfile {
       const Schema& schema,
       const std::vector<std::pair<std::string, std::string>>& prefs);
 
+  /// \brief Parses the one-line text form "dim: M<H<*; other: G<*" —
+  /// ';'-separated "name: preference" clauses, the inverse of ToString.
+  /// Empty clauses are skipped; unmentioned dimensions get the empty
+  /// preference. The CLI, the wire protocol and the parsed-query cache all
+  /// speak this form.
+  static Result<PreferenceProfile> ParseText(const Schema& schema,
+                                             const std::string& text);
+
   size_t num_nominal() const { return prefs_.size(); }
 
   const ImplicitPreference& pref(size_t nominal_idx) const {

@@ -1,0 +1,94 @@
+#include "serve/query_cache.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace nomsky {
+namespace serve {
+
+std::string CanonicalQueryText(const std::string& text) {
+  std::string canonical;
+  for (const std::string& raw : Split(text, ';')) {
+    std::string clause = Trim(raw);
+    if (clause.empty()) continue;
+    if (!canonical.empty()) canonical += "; ";
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      // Malformed clause: keep it verbatim so the parse error message the
+      // user sees names exactly what they typed.
+      canonical += clause;
+      continue;
+    }
+    canonical += Trim(clause.substr(0, colon));
+    canonical += ": ";
+    // Trim per '<'-token (the parser trims exactly so): "A < B" == "A<B",
+    // while a value with INTERNAL spaces keeps them.
+    bool first = true;
+    for (const std::string& token : Split(clause.substr(colon + 1), '<')) {
+      if (!first) canonical += '<';
+      first = false;
+      canonical += Trim(token);
+    }
+  }
+  return canonical;
+}
+
+ParsedQueryCache::ParsedQueryCache(const Schema& schema, size_t capacity)
+    : schema_(&schema), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<std::shared_ptr<const PreferenceProfile>> ParsedQueryCache::Get(
+    const std::string& text, bool* was_hit) {
+  const std::string key = CanonicalQueryText(text);
+  if (was_hit != nullptr) *was_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (was_hit != nullptr) *was_hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.profile;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Parse OUTSIDE the lock: a miss storm must not serialize every worker
+  // behind one parse. Two threads may parse the same query concurrently;
+  // the second insert finds the entry present and just takes the hit-free
+  // existing profile — duplicated work, never duplicated entries.
+  NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile parsed,
+                          PreferenceProfile::ParseText(*schema_, key));
+  auto profile = std::make_shared<const PreferenceProfile>(std::move(parsed));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.profile;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{profile, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return profile;
+}
+
+size_t ParsedQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+ParsedQueryCache::Stats ParsedQueryCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace nomsky

@@ -1,0 +1,90 @@
+// ParsedQueryCache: canonical-text -> parsed PreferenceProfile, LRU-bounded.
+//
+// Throughput runs replay a small set of popular query strings millions of
+// times; parsing each occurrence re-walks the schema and re-validates every
+// clause. The cache keys on a CANONICAL form of the query text (clause
+// trimming + whitespace stripping inside preferences, clause order
+// preserved — order is semantically irrelevant across dimensions but
+// canonicalizing it would require name resolution, i.e. half a parse), so
+// trivially respaced spellings of one query share an entry without parsing.
+//
+// Entries are shared_ptr<const PreferenceProfile>: a hit pins the profile
+// for the request's lifetime even if the entry is evicted mid-request.
+// Parse FAILURES are never cached — a failed parse is cheap (it aborts at
+// the offending clause) and caching negative entries would let a typo
+// permanently occupy capacity.
+//
+// Thread-safe: one mutex around the map+LRU list, atomics for the
+// counters (hits/misses/evictions are observable via --explain and the
+// server's kStats frame).
+
+#ifndef NOMSKY_SERVE_QUERY_CACHE_H_
+#define NOMSKY_SERVE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+namespace serve {
+
+/// \brief Canonical form of a query text: clauses split on ';', empties
+/// dropped, "name" trimmed, all whitespace inside the preference removed,
+/// rejoined as "name: pref; name: pref". Pure text transformation — no
+/// schema, no parse, so it is cheap enough to run on every lookup.
+std::string CanonicalQueryText(const std::string& text);
+
+/// \brief LRU cache of parsed queries for one schema.
+class ParsedQueryCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `schema` must outlive the cache. `capacity` bounds live entries
+  /// (>= 1; 0 is clamped to 1 — a cache that can hold nothing would turn
+  /// every hit path into a miss path with extra bookkeeping).
+  ParsedQueryCache(const Schema& schema, size_t capacity);
+
+  /// \brief Canonicalizes, looks up, parses on miss (inserting on
+  /// success). The returned profile is immutable and safely outlives
+  /// eviction. Parse errors pass through and are NOT cached. `was_hit`
+  /// (optional) reports whether THIS lookup hit — the per-request signal
+  /// --explain surfaces, where the aggregate counters cannot attribute.
+  Result<std::shared_ptr<const PreferenceProfile>> Get(
+      const std::string& text, bool* was_hit = nullptr);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PreferenceProfile> profile;
+    std::list<std::string>::iterator lru_pos;  // most-recent at front
+  };
+
+  const Schema* schema_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // canonical keys, most-recently-used first
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace nomsky
+
+#endif  // NOMSKY_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,164 @@
+// ServingExecutor: the query front-end of the networked serving stack.
+//
+// It speaks the frame protocol (net/frame.h) to a set of shard servers,
+// each holding a private slice of one source table, and answers queries
+// with exactly the semantics of a local ShardedEngine over the same total
+// partition: every backend returns its slice's exact skyline as global ids
+// plus the winning rows NEUTRAL-packed, the front-end transposes those
+// bytes back into mini Datasets (DatasetFromNeutralPacked) and runs the
+// same MergeShardSkylines pass a local engine runs across its shards.
+// Scores come from identical row values and candidates sort by
+// (score, global id), so the result is byte-identical to the local engine —
+// tests/serving_executor_test.cc asserts exactly that.
+//
+// Admission control (the knobs bench_serving stresses):
+//   * bounded in-flight: at most Options::max_inflight Execute() calls run
+//     concurrently; excess requests are SHED immediately with
+//     ResourceExhausted — the front-end degrades by rejecting, not by
+//     queueing into collapse;
+//   * per-request deadline: every backend read budgets
+//     Options::deadline_ms; a silent backend yields DeadlineExceeded,
+//     which is NEVER retried (the request may be executing remotely — a
+//     retry would double-run it);
+//   * one retry on reset: Unavailable (peer reset / EOF) triggers ONE
+//     reconnect + resend per backend per request — queries are read-only
+//     and idempotent, so the lost-reply race is harmless. A second failure
+//     propagates.
+//
+// Parsed once, executed everywhere: query text canonicalizes through the
+// shared ParsedQueryCache form, the canonical string is what travels (so
+// respaced spellings hit the servers' caches too), and the front-end's own
+// cache supplies the profile the merge pass needs.
+//
+// Thread-safe: Execute() may be called from many threads; each backend
+// connection is leased to one request at a time (per-backend mutex), and
+// the fan-out across backends runs on Options::pool when one is given.
+
+#ifndef NOMSKY_SERVE_SERVING_EXECUTOR_H_
+#define NOMSKY_SERVE_SERVING_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "exec/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/query_cache.h"
+#include "serve/shard_server.h"
+
+namespace nomsky {
+namespace serve {
+
+/// \brief One shard server's address.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// \brief One answered query: global row ids in emission (score) order and
+/// the matching row values, rebuilt from the neutral-packed bytes the
+/// servers shipped.
+struct ServeReply {
+  explicit ServeReply(Schema schema) : values(std::move(schema)) {}
+
+  std::vector<RowId> rows;  ///< global ids, same order as `values` rows
+  Dataset values;           ///< row i holds the values of rows[i]
+  bool cache_hit = false;   ///< front-end parsed-query cache hit
+};
+
+/// \brief Front-end counters (shed/retried are the admission-control
+/// observables the tests pin down).
+struct ServingExecutorStats {
+  uint64_t queries = 0;   ///< Execute() calls admitted and answered OK
+  uint64_t shed = 0;      ///< rejected by the in-flight bound
+  uint64_t retries = 0;   ///< reconnect-and-resend cycles taken
+  uint64_t failures = 0;  ///< admitted calls that returned an error
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+class ServingExecutor {
+ public:
+  struct Options {
+    size_t max_inflight = 64;    ///< concurrent Execute() bound (>= 1)
+    int deadline_ms = 10'000;    ///< per-backend-read budget per request
+    size_t cache_capacity = 256; ///< parsed-query cache bound
+    uint32_t max_payload = net::kDefaultMaxPayload;
+    ThreadPool* pool = nullptr;  ///< backend fan-out; null = sequential
+  };
+
+  /// \brief Connects to every endpoint and handshakes (kHello): every
+  /// backend must be READY (image loaded) and all must serve the same
+  /// schema. Global ids must be disjoint across backends — they partition
+  /// one source table; the executor checks they agree on its row bound.
+  static Result<std::unique_ptr<ServingExecutor>> Connect(
+      std::vector<Endpoint> endpoints, const Options& options);
+
+  /// \brief Parses (through the cache), fans out, merges. See the header
+  /// comment for the admission-control and retry contract.
+  Result<ServeReply> Execute(const std::string& query_text);
+
+  /// \brief Applies a single-shard refresh image to backend `b`'s shard
+  /// `shard` (kRefresh). `image_bytes` is the serialized image.
+  Status Refresh(size_t b, uint32_t shard, const std::string& image_bytes);
+
+  /// \brief Pushes a full shard image to backend `b` (kLoadShard) — the
+  /// remote-bootstrap path.
+  Status PushImage(size_t b, const std::string& image_bytes);
+
+  /// \brief Fetches backend `b`'s serving counters (kStats).
+  Result<ShardServerStats> ServerStats(size_t b);
+
+  /// \brief Asks every backend to stop (kShutdown). Best-effort: returns
+  /// the first error but still contacts the rest.
+  Status ShutdownAll();
+
+  const Schema& schema() const { return schema_; }
+  size_t num_backends() const { return backends_.size(); }
+  /// \brief Source-table row bound all backends agreed on at handshake.
+  uint64_t source_rows() const { return source_rows_; }
+
+  ServingExecutorStats stats() const;
+  const ParsedQueryCache& cache() const { return *cache_; }
+
+ private:
+  struct Backend {
+    Endpoint endpoint;
+    std::mutex mutex;  // leases the connection to one request at a time
+    net::TcpSocket socket;
+    uint32_t num_shards = 0;
+  };
+
+  ServingExecutor(Schema schema, uint64_t source_rows, const Options& options);
+
+  /// \brief One request/reply exchange on backend `b`: lease, send, read
+  /// with the deadline, reconnect + resend ONCE on Unavailable. A kError
+  /// reply surfaces as Internal carrying the server's message.
+  Result<net::Frame> Call(Backend& b, net::FrameType type,
+                          const std::string& payload,
+                          net::FrameType expected_reply);
+
+  Schema schema_;
+  uint64_t source_rows_ = 0;
+  Options options_;
+  std::unique_ptr<ParsedQueryCache> cache_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace serve
+}  // namespace nomsky
+
+#endif  // NOMSKY_SERVE_SERVING_EXECUTOR_H_

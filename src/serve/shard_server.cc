@@ -1,0 +1,298 @@
+#include "serve/shard_server.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace nomsky {
+namespace serve {
+
+using net::Frame;
+using net::FrameType;
+
+ShardServer::ShardServer(Options options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(options_.threads)) {}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start() {
+  NOMSKY_ASSIGN_OR_RETURN(listener_, net::TcpListener::Listen(options_.port));
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+Status ShardServer::Bootstrap(ShardImage&& image) {
+  auto state = std::make_shared<EngineState>();
+  state->tmpl = std::make_unique<PreferenceProfile>(image.schema);
+  EngineOptions engine_options;
+  engine_options.build_threads = 0;  // builds always use all cores
+  engine_options.query_shards = options_.threads;
+  engine_options.pool = pool_.get();
+  NOMSKY_ASSIGN_OR_RETURN(
+      state->engine,
+      ShardedEngine::CreateFromImage(options_.inner_engine, std::move(image),
+                                     *state->tmpl, engine_options));
+  state->cache = std::make_unique<ParsedQueryCache>(state->engine->schema(),
+                                                    options_.cache_capacity);
+  {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    engine_state_ = std::move(state);
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::shared_ptr<const ShardServer::EngineState> ShardServer::engine_state()
+    const {
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  return engine_state_;
+}
+
+void ShardServer::WaitUntilStopped() {
+  {
+    std::unique_lock<std::mutex> lock(stopped_mutex_);
+    stopped_cv_.wait(lock, [this] {
+      return stop_requested_.load(std::memory_order_acquire) ||
+             !running_.load(std::memory_order_acquire);
+    });
+  }
+  Stop();
+}
+
+void ShardServer::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  listener_.Close();  // wakes the accept loop's next poll
+  {
+    // stopped_mutex_ serializes concurrent Stop() callers through the join
+    // sequence (joinable() checks alone would race).
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+    for (Connection& conn : connections_) {
+      if (conn.thread.joinable()) conn.thread.join();
+    }
+    connections_.clear();
+    running_.store(false, std::memory_order_release);
+  }
+  stopped_cv_.notify_all();
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept(/*timeout_ms=*/200);
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      break;  // listener closed (shutdown) or broken
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread worker(
+        [this, done](net::TcpSocket socket) {
+          ServeConnection(std::move(socket));
+          done->store(true, std::memory_order_release);
+        },
+        std::move(accepted).ValueOrDie());
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    ReapFinishedConnections();
+    connections_.push_back(Connection{std::move(worker), std::move(done)});
+  }
+}
+
+void ShardServer::ReapFinishedConnections() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardServer::ServeConnection(net::TcpSocket socket) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Idle poll before committing to a frame read: a client may hold the
+    // connection open between requests indefinitely, and a blocking read
+    // there would pin this thread past Stop(). Once the first byte is in
+    // flight the whole frame must land within the io deadline.
+    struct pollfd pfd;
+    pfd.fd = socket.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (rc == 0) continue;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    auto frame = net::RecvFrame(socket, options_.io_deadline_ms,
+                                options_.max_payload);
+    if (!frame.ok()) {
+      if (frame.status().IsInvalidArgument()) {
+        // Protocol violation: tell the peer why (best effort — it may be
+        // gone or hostile), then drop the connection. The framing is lost
+        // once a header is rejected, so resynchronization is impossible.
+        rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+        (void)net::SendFrame(socket, FrameType::kError,
+                             frame.status().ToString());
+      }
+      break;  // EOF, reset, idle-timeout mid-frame: reap quietly
+    }
+    if (!HandleFrame(socket, std::move(frame).ValueOrDie())) break;
+  }
+}
+
+bool ShardServer::HandleFrame(net::TcpSocket& socket, Frame&& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return net::SendFrame(socket, FrameType::kHelloAck, HelloAckPayload())
+          .ok();
+    case FrameType::kLoadShard: {
+      const Status status = HandleLoad(frame.payload);
+      if (status.ok()) {
+        return net::SendFrame(socket, FrameType::kOk, "").ok();
+      }
+      return net::SendFrame(socket, FrameType::kError, status.ToString()).ok();
+    }
+    case FrameType::kQuery: {
+      auto reply = HandleQuery(frame.payload);
+      if (reply.ok()) {
+        queries_.fetch_add(1, std::memory_order_relaxed);
+        return net::SendFrame(socket, FrameType::kQueryResult, *reply).ok();
+      }
+      query_failures_.fetch_add(1, std::memory_order_relaxed);
+      return net::SendFrame(socket, FrameType::kError,
+                            reply.status().ToString())
+          .ok();
+    }
+    case FrameType::kRefresh: {
+      const Status status = HandleRefresh(frame.payload);
+      if (status.ok()) {
+        refreshes_.fetch_add(1, std::memory_order_relaxed);
+        return net::SendFrame(socket, FrameType::kOk, "").ok();
+      }
+      return net::SendFrame(socket, FrameType::kError, status.ToString()).ok();
+    }
+    case FrameType::kStats:
+      return net::SendFrame(socket, FrameType::kStatsResult, StatsPayload())
+          .ok();
+    case FrameType::kShutdown:
+      (void)net::SendFrame(socket, FrameType::kOk, "");
+      stop_requested_.store(true, std::memory_order_release);
+      listener_.Close();
+      stopped_cv_.notify_all();  // WaitUntilStopped() performs the joins —
+                                 // this thread cannot join itself
+      return false;
+    default:
+      // Structurally valid frame that is not a request (a confused client
+      // sending kOk/kQueryResult/... at us). Reject and drop.
+      rejected_frames_.fetch_add(1, std::memory_order_relaxed);
+      (void)net::SendFrame(socket, FrameType::kError,
+                           std::string("unexpected ") +
+                               net::FrameTypeName(frame.type) + " frame");
+      return false;
+  }
+}
+
+Status ShardServer::HandleLoad(const std::string& payload) {
+  std::istringstream in(payload);
+  NOMSKY_ASSIGN_OR_RETURN(ShardImage image,
+                          ShardImage::Load(in, "network shard image"));
+  return Bootstrap(std::move(image));
+}
+
+Status ShardServer::HandleRefresh(const std::string& payload) {
+  auto state = engine_state();
+  if (state == nullptr) {
+    return Status::Unavailable("refresh before any shard image was loaded");
+  }
+  std::istringstream in(payload);
+  BinaryReader reader(in);
+  uint32_t shard = 0;
+  if (!reader.Pod(&shard)) {
+    return Status::InvalidArgument("truncated refresh frame");
+  }
+  NOMSKY_ASSIGN_OR_RETURN(ShardImage image,
+                          ShardImage::Load(in, "refresh image"));
+  if (image.num_shards() != 1) {
+    return Status::InvalidArgument("a refresh carries exactly one shard, got ",
+                                   image.num_shards());
+  }
+  ShardImage::Shard& fresh = image.shards[0];
+  // RebuildShard re-validates schema, row/id counts and global-id bounds.
+  return state->engine->RebuildShard(shard, std::move(fresh.data),
+                                     std::move(fresh.global_rows));
+}
+
+Result<std::string> ShardServer::HandleQuery(const std::string& payload) {
+  auto state = engine_state();
+  if (state == nullptr) {
+    return Status::Unavailable("query before any shard image was loaded");
+  }
+  NOMSKY_ASSIGN_OR_RETURN(std::shared_ptr<const PreferenceProfile> profile,
+                          state->cache->Get(payload));
+  PackedBlock rows;
+  NOMSKY_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                          state->engine->QueryServed(*profile, &rows));
+  (void)ids;  // the block carries the same global ids, in the same order
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  rows.WriteTo(writer);
+  if (!writer.ok()) {
+    return Status::Internal("failed to serialize the query result");
+  }
+  return std::move(out).str();
+}
+
+std::string ShardServer::HelloAckPayload() const {
+  auto state = engine_state();
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  writer.Pod<uint8_t>(state != nullptr ? 1 : 0);  // ready
+  if (state != nullptr) {
+    WriteSchema(writer, state->engine->schema());
+    writer.Pod<uint32_t>(static_cast<uint32_t>(state->engine->num_shards()));
+    writer.Pod<uint64_t>(state->engine->source_rows());
+  }
+  return std::move(out).str();
+}
+
+std::string ShardServer::StatsPayload() const {
+  const ShardServerStats snapshot = stats();
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  writer.Pod<uint64_t>(snapshot.queries);
+  writer.Pod<uint64_t>(snapshot.query_failures);
+  writer.Pod<uint64_t>(snapshot.refreshes);
+  writer.Pod<uint64_t>(snapshot.loads);
+  writer.Pod<uint64_t>(snapshot.rejected_frames);
+  writer.Pod<uint64_t>(snapshot.cache_hits);
+  writer.Pod<uint64_t>(snapshot.cache_misses);
+  return std::move(out).str();
+}
+
+ShardServerStats ShardServer::stats() const {
+  ShardServerStats snapshot;
+  snapshot.queries = queries_.load(std::memory_order_relaxed);
+  snapshot.query_failures = query_failures_.load(std::memory_order_relaxed);
+  snapshot.refreshes = refreshes_.load(std::memory_order_relaxed);
+  snapshot.loads = loads_.load(std::memory_order_relaxed);
+  snapshot.rejected_frames = rejected_frames_.load(std::memory_order_relaxed);
+  if (auto state = engine_state()) {
+    const ParsedQueryCache::Stats cache = state->cache->stats();
+    snapshot.cache_hits = cache.hits;
+    snapshot.cache_misses = cache.misses;
+  }
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace nomsky

@@ -1,0 +1,161 @@
+// ShardServer: one long-lived process serving a slice of the table behind
+// the frame protocol (net/frame.h).
+//
+// Lifecycle: Start() binds 127.0.0.1:<port> (0 = ephemeral; port() reads
+// the bound one back) and spawns the accept loop. The server may start
+// EMPTY: the first kLoadShard frame carries a shard image whose bytes are
+// exactly the on-disk format (exec/shard_image.h), adopted via
+// ShardedEngine::CreateFromImage — the wire format IS the image format.
+// Alternatively Bootstrap() preloads an image in-process (the CLI's
+// --serve --load-shards path). Refreshes arrive as kRefresh frames
+// carrying a SINGLE-shard image applied through RebuildShard: in-flight
+// queries keep draining the snapshot they pinned, the next query sees the
+// new epoch — the epoch-swap design, now reachable over a socket.
+//
+// Concurrency: one accept thread plus one thread per live connection
+// (joined on Stop; a finished connection parks its thread for reaping).
+// The engine swap slot is a shared_ptr published under a mutex, same
+// pointer-copy discipline as SnapshotSlot. Queries parse through a
+// ParsedQueryCache shared by all connections.
+//
+// Robustness contract (tested under asan/ubsan/tsan):
+//   * malformed frames (bad version, unknown type, oversized length,
+//     reserved bits) -> best-effort kError reply, connection dropped,
+//     server keeps serving other connections;
+//   * a client vanishing mid-query -> the write fails, the connection is
+//     reaped, nothing else notices;
+//   * kShutdown -> kOk reply, then the accept loop stops and Stop() joins
+//     every connection; in-flight requests finish first.
+
+#ifndef NOMSKY_SERVE_SHARD_SERVER_H_
+#define NOMSKY_SERVE_SHARD_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/shard_image.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/query_cache.h"
+
+namespace nomsky {
+namespace serve {
+
+/// \brief Serving-side counters, shipped verbatim in kStatsResult frames.
+struct ShardServerStats {
+  uint64_t queries = 0;          ///< kQuery frames answered OK
+  uint64_t query_failures = 0;   ///< kQuery frames answered kError
+  uint64_t refreshes = 0;        ///< kRefresh frames applied
+  uint64_t loads = 0;            ///< kLoadShard bootstraps adopted
+  uint64_t rejected_frames = 0;  ///< malformed/unexpected frames dropped
+  uint64_t cache_hits = 0;       ///< parsed-query cache hits
+  uint64_t cache_misses = 0;     ///< parsed-query cache misses
+};
+
+class ShardServer {
+ public:
+  struct Options {
+    uint16_t port = 0;               ///< 0 = ephemeral
+    std::string inner_engine = "sfsd";
+    size_t threads = 1;              ///< worker pool for the engine
+    size_t cache_capacity = 256;     ///< parsed-query cache bound
+    uint32_t max_payload = net::kDefaultMaxPayload;
+    int io_deadline_ms = 30'000;     ///< per-read budget on live frames
+  };
+
+  explicit ShardServer(Options options);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// \brief Binds the listener and starts accepting. Fails if the port is
+  /// taken.
+  Status Start();
+
+  /// \brief Adopts an image in-process (no kLoadShard needed). May also be
+  /// called before Start().
+  Status Bootstrap(ShardImage&& image);
+
+  /// \brief Blocks until a kShutdown frame stops the server (or Stop() is
+  /// called from another thread).
+  void WaitUntilStopped();
+
+  /// \brief Stops accepting, joins the accept loop and every connection
+  /// thread. Idempotent.
+  void Stop();
+
+  /// \brief Bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ShardServerStats stats() const;
+
+ private:
+  struct EngineState {
+    // Image-adopted engines borrow the template by reference; it must live
+    // exactly as long as the engine, so the pair travels together.
+    std::unique_ptr<PreferenceProfile> tmpl;
+    std::unique_ptr<ShardedEngine> engine;
+    std::unique_ptr<ParsedQueryCache> cache;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(net::TcpSocket socket);
+  void ReapFinishedConnections();  // requires conn_mutex_ held
+
+  /// \brief Handles one decoded frame; returns false when the connection
+  /// should close (shutdown or protocol violation).
+  bool HandleFrame(net::TcpSocket& socket, net::Frame&& frame);
+
+  std::shared_ptr<const EngineState> engine_state() const;
+
+  Status HandleLoad(const std::string& payload);
+  Status HandleRefresh(const std::string& payload);
+  Result<std::string> HandleQuery(const std::string& payload);
+  std::string HelloAckPayload() const;
+  std::string StatsPayload() const;
+
+  Options options_;
+  uint16_t port_ = 0;
+  net::TcpListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex engine_mutex_;  // guards the shared_ptr swap only
+  std::shared_ptr<const EngineState> engine_state_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections_;
+
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_cv_;
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> query_failures_{0};
+  mutable std::atomic<uint64_t> refreshes_{0};
+  mutable std::atomic<uint64_t> loads_{0};
+  mutable std::atomic<uint64_t> rejected_frames_{0};
+};
+
+}  // namespace serve
+}  // namespace nomsky
+
+#endif  // NOMSKY_SERVE_SHARD_SERVER_H_

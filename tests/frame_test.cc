@@ -1,0 +1,195 @@
+// Frame protocol (net/frame.h): exact header round trips for every frame
+// type, the full rejection matrix DecodeFrameHeader must hold under
+// sanitizers (version bump, unknown type, reserved bits, hostile length
+// prefix — all rejected without allocating the claimed payload), and
+// real-socket framing over loopback: send/recv round trips, truncated
+// payloads surfacing as Unavailable, a silent peer surfacing as
+// DeadlineExceeded, and garbage bytes never crashing the receiver.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace nomsky {
+namespace net {
+namespace {
+
+TEST(FrameHeaderTest, RoundTripsEveryTypeAndLength) {
+  for (uint8_t raw = static_cast<uint8_t>(FrameType::kHello);
+       raw <= static_cast<uint8_t>(FrameType::kError); ++raw) {
+    const FrameType type = static_cast<FrameType>(raw);
+    for (uint32_t length : {0u, 1u, 255u, 256u, 65536u, (16u << 20)}) {
+      const auto header = EncodeFrameHeader(type, length);
+      auto decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);
+      ASSERT_TRUE(decoded.ok())
+          << FrameTypeName(type) << " len " << length << ": "
+          << decoded.status().ToString();
+      EXPECT_EQ(decoded->type, type);
+      EXPECT_EQ(decoded->payload.size(), length);
+    }
+  }
+}
+
+TEST(FrameHeaderTest, HeaderIsLittleEndianAndEightBytes) {
+  static_assert(kFrameHeaderBytes == 8);
+  const auto header = EncodeFrameHeader(FrameType::kQuery, 0x0403'0201u);
+  EXPECT_EQ(header[0], kProtocolVersion);
+  EXPECT_EQ(header[1], static_cast<uint8_t>(FrameType::kQuery));
+  EXPECT_EQ(header[2], 0);
+  EXPECT_EQ(header[3], 0);
+  EXPECT_EQ(header[4], 0x01);
+  EXPECT_EQ(header[5], 0x02);
+  EXPECT_EQ(header[6], 0x03);
+  EXPECT_EQ(header[7], 0x04);
+}
+
+TEST(FrameHeaderTest, RejectsVersionBump) {
+  auto header = EncodeFrameHeader(FrameType::kHello, 0);
+  header[0] = kProtocolVersion + 1;
+  auto decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(FrameHeaderTest, RejectsUnknownTypes) {
+  for (uint8_t raw : {uint8_t{0}, uint8_t{12}, uint8_t{200}, uint8_t{255}}) {
+    auto header = EncodeFrameHeader(FrameType::kHello, 0);
+    header[1] = raw;
+    auto decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);
+    ASSERT_FALSE(decoded.ok()) << "type " << static_cast<unsigned>(raw);
+    EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  }
+}
+
+TEST(FrameHeaderTest, RejectsReservedBits) {
+  for (size_t byte : {size_t{2}, size_t{3}}) {
+    auto header = EncodeFrameHeader(FrameType::kQuery, 4);
+    header[byte] = 0x80;
+    auto decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);
+    ASSERT_FALSE(decoded.ok()) << "reserved byte " << byte;
+    EXPECT_TRUE(decoded.status().IsInvalidArgument());
+  }
+}
+
+// A hostile length prefix must be rejected BEFORE any allocation — the
+// decoded payload buffer for a rejected header is never created, so a
+// 4 GiB claim cannot OOM the receiver.
+TEST(FrameHeaderTest, RejectsOversizedLengthAgainstTheCap) {
+  auto header = EncodeFrameHeader(FrameType::kLoadShard, 1025);
+  auto decoded = DecodeFrameHeader(header.data(), /*max_payload=*/1024);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+
+  std::memset(header.data() + 4, 0xFF, 4);  // length = 0xFFFFFFFF
+  decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+
+  // Exactly at the cap is fine.
+  const auto at_cap = EncodeFrameHeader(FrameType::kLoadShard, 1024);
+  EXPECT_TRUE(DecodeFrameHeader(at_cap.data(), 1024).ok());
+}
+
+TEST(FrameHeaderTest, SendRefusesOversizedPayloads) {
+  TcpSocket unconnected;
+  const std::string too_big(static_cast<size_t>(kDefaultMaxPayload) + 1,
+                            'x');
+  Status status = SendFrame(unconnected, FrameType::kQuery, too_big);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+// Loopback fixture: a listener plus one connected client/server socket
+// pair per test.
+class FrameSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(listener).ValueOrDie();
+    auto client = TcpSocket::Connect("127.0.0.1", listener_.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(client).ValueOrDie();
+    auto server = listener_.Accept(2000);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).ValueOrDie();
+  }
+
+  TcpListener listener_;
+  TcpSocket client_;
+  TcpSocket server_;
+};
+
+TEST_F(FrameSocketTest, RoundTripsFramesOverLoopback) {
+  const std::string payload = "group: T<M<*";
+  ASSERT_TRUE(SendFrame(client_, FrameType::kQuery, payload).ok());
+  auto frame = RecvFrame(server_, 2000);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kQuery);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Empty payloads round trip too.
+  ASSERT_TRUE(SendFrame(server_, FrameType::kOk, "").ok());
+  auto ack = RecvFrame(client_, 2000);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->type, FrameType::kOk);
+  EXPECT_TRUE(ack->payload.empty());
+}
+
+TEST_F(FrameSocketTest, TruncatedPayloadIsUnavailableNotACrash) {
+  // Header promises 100 bytes, peer delivers 10 and hangs up.
+  const auto header = EncodeFrameHeader(FrameType::kQuery, 100);
+  ASSERT_TRUE(client_.SendAll(header.data(), header.size()).ok());
+  ASSERT_TRUE(client_.SendAll("0123456789", 10).ok());
+  client_.Close();
+  auto frame = RecvFrame(server_, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsUnavailable()) << frame.status().ToString();
+}
+
+TEST_F(FrameSocketTest, GarbageHeaderIsRejectedCleanly) {
+  const uint8_t garbage[kFrameHeaderBytes] = {0xDE, 0xAD, 0xBE, 0xEF,
+                                              0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(client_.SendAll(garbage, sizeof(garbage)).ok());
+  auto frame = RecvFrame(server_, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsInvalidArgument())
+      << frame.status().ToString();
+}
+
+TEST_F(FrameSocketTest, SilentPeerIsDeadlineExceeded) {
+  auto frame = RecvFrame(server_, /*deadline_ms=*/100);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsDeadlineExceeded())
+      << frame.status().ToString();
+}
+
+TEST_F(FrameSocketTest, PeerResetIsUnavailable) {
+  client_.Close();
+  auto frame = RecvFrame(server_, 2000);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsUnavailable()) << frame.status().ToString();
+}
+
+TEST(FrameSocketStandaloneTest, ConnectionRefusedIsUnavailable) {
+  // Bind-then-close yields a port nothing listens on.
+  uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  auto socket = TcpSocket::Connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(socket.ok());
+  EXPECT_TRUE(socket.status().IsUnavailable()) << socket.status().ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nomsky

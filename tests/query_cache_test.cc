@@ -1,0 +1,193 @@
+// ParsedQueryCache (serve/query_cache.h): canonicalization equivalences
+// (respaced spellings share one entry, values with internal spaces are
+// preserved), hit/miss/eviction counters and the per-request was_hit flag,
+// LRU eviction order under a small capacity, the parse-failures-are-not-
+// cached contract, and byte-identical engine results between a cached
+// profile and a freshly parsed one.
+
+#include "serve/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "exec/engine_registry.h"
+#include "order/preference_profile.h"
+
+namespace nomsky {
+namespace serve {
+namespace {
+
+Schema VacationSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("price").ok());
+  EXPECT_TRUE(s.AddNominal("hotel_group", {"T", "H", "M"}).ok());
+  EXPECT_TRUE(s.AddNominal("airline", {"G", "R", "W"}).ok());
+  return s;
+}
+
+Schema SpacedSchema() {
+  Schema s;
+  EXPECT_TRUE(
+      s.AddNominal("city", {"New York", "San Jose", "Palo Alto"}).ok());
+  return s;
+}
+
+TEST(CanonicalQueryTextTest, NormalizesWhitespaceAndClauseTrim) {
+  const std::string canonical =
+      CanonicalQueryText("hotel_group: T<M<*; airline: G<*");
+  EXPECT_EQ(CanonicalQueryText("  hotel_group :T < M < * ;airline: G <*  "),
+            canonical);
+  EXPECT_EQ(CanonicalQueryText("hotel_group:T<M<*;airline:G<*"), canonical);
+  // Empty clauses (trailing ';', doubled ';') are dropped.
+  EXPECT_EQ(CanonicalQueryText("hotel_group: T<M<*;; airline: G<*;"),
+            canonical);
+}
+
+TEST(CanonicalQueryTextTest, PreservesInternalSpacesInValues) {
+  // Trimming is per '<'-token: "New York" must not collapse to "NewYork".
+  EXPECT_EQ(CanonicalQueryText("city:  New York  <  San Jose  < *"),
+            "city: New York<San Jose<*");
+}
+
+TEST(CanonicalQueryTextTest, KeepsMalformedClausesVerbatim) {
+  // No ':' — kept as typed so the parse error names the user's input.
+  EXPECT_EQ(CanonicalQueryText("  no colon here  "), "no colon here");
+}
+
+TEST(CanonicalQueryTextTest, ClauseOrderIsPreserved) {
+  EXPECT_NE(CanonicalQueryText("a: X<*; b: Y<*"),
+            CanonicalQueryText("b: Y<*; a: X<*"));
+}
+
+TEST(ParsedQueryCacheTest, HitMissCountersAndWasHitFlag) {
+  Schema schema = VacationSchema();
+  ParsedQueryCache cache(schema, 8);
+
+  bool was_hit = true;
+  auto first = cache.Get("hotel_group: T<M<*", &was_hit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(was_hit);
+
+  // A respaced spelling of the same query is a HIT on the same entry.
+  auto second = cache.Get("  hotel_group :  T < M < *  ", &was_hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(was_hit);
+  EXPECT_EQ(first->get(), second->get());  // same shared profile object
+
+  const ParsedQueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ParsedQueryCacheTest, CachedProfileMatchesFreshParse) {
+  Schema schema = VacationSchema();
+  ParsedQueryCache cache(schema, 4);
+  const std::string text = "hotel_group: M<H<*; airline: G<*";
+
+  auto cached = cache.Get(text);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  auto fresh = PreferenceProfile::ParseText(schema, text);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ((*cached)->num_nominal(), fresh->num_nominal());
+  for (size_t d = 0; d < fresh->num_nominal(); ++d) {
+    EXPECT_EQ((*cached)->pref(d).choices(), fresh->pref(d).choices()) << d;
+  }
+}
+
+TEST(ParsedQueryCacheTest, ByteIdenticalEngineResultsCachedVsParsed) {
+  Schema schema = VacationSchema();
+  Dataset data(schema);
+  ASSERT_TRUE(data.Append({{10.0}, {0, 0}}).ok());
+  ASSERT_TRUE(data.Append({{20.0}, {1, 1}}).ok());
+  ASSERT_TRUE(data.Append({{5.0}, {2, 2}}).ok());
+  ASSERT_TRUE(data.Append({{15.0}, {2, 0}}).ok());
+  ASSERT_TRUE(data.Append({{25.0}, {0, 2}}).ok());
+
+  PreferenceProfile tmpl(schema);
+  auto engine = EngineRegistry::Global().Create("sfsd", data, tmpl);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ParsedQueryCache cache(schema, 4);
+  const std::string text = "hotel_group: M<T<*; airline: G<*";
+  for (int round = 0; round < 2; ++round) {  // miss first, then hit
+    auto cached = cache.Get(text);
+    ASSERT_TRUE(cached.ok());
+    auto via_cache = (*engine)->Query(**cached);
+    ASSERT_TRUE(via_cache.ok());
+    auto parsed = PreferenceProfile::ParseText(schema, text);
+    ASSERT_TRUE(parsed.ok());
+    auto via_parse = (*engine)->Query(*parsed);
+    ASSERT_TRUE(via_parse.ok());
+    EXPECT_EQ(*via_cache, *via_parse) << "round " << round;
+  }
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ParsedQueryCacheTest, EvictionBoundRespectedInLruOrder) {
+  Schema schema = VacationSchema();
+  ParsedQueryCache cache(schema, 2);
+
+  ASSERT_TRUE(cache.Get("hotel_group: T<*").ok());
+  ASSERT_TRUE(cache.Get("airline: G<*").ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch the older entry so "airline: G<*" becomes least-recently-used.
+  bool was_hit = false;
+  ASSERT_TRUE(cache.Get("hotel_group: T<*", &was_hit).ok());
+  EXPECT_TRUE(was_hit);
+
+  ASSERT_TRUE(cache.Get("hotel_group: M<*").ok());  // evicts airline
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  ASSERT_TRUE(cache.Get("hotel_group: T<*", &was_hit).ok());
+  EXPECT_TRUE(was_hit) << "recently used entry must survive eviction";
+  ASSERT_TRUE(cache.Get("airline: G<*", &was_hit).ok());
+  EXPECT_FALSE(was_hit) << "LRU entry must have been evicted";
+}
+
+TEST(ParsedQueryCacheTest, ParseFailuresAreNotCached) {
+  Schema schema = VacationSchema();
+  ParsedQueryCache cache(schema, 4);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto bad = cache.Get("no_such_dim: T<*");
+    EXPECT_FALSE(bad.ok()) << attempt;
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u) << "every failed lookup re-parses";
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // A numeric dimension cannot carry a nominal preference either.
+  EXPECT_FALSE(cache.Get("price: T<*").ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ParsedQueryCacheTest, ZeroCapacityClampsToOne) {
+  Schema schema = VacationSchema();
+  ParsedQueryCache cache(schema, 0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  ASSERT_TRUE(cache.Get("hotel_group: T<*").ok());
+  ASSERT_TRUE(cache.Get("airline: G<*").ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ParsedQueryCacheTest, SpacedNominalValuesParseThroughTheCache) {
+  Schema schema = SpacedSchema();
+  ParsedQueryCache cache(schema, 4);
+  auto profile = cache.Get("city:  New York  < *");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ((*profile)->pref(0).choices(), (std::vector<ValueId>{0}));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomsky

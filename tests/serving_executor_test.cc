@@ -1,0 +1,491 @@
+// ServingExecutor (serve/serving_executor.h) against real ShardServers and
+// against scripted stub backends. The real-cluster tests pin the headline
+// guarantee — the merged answer is byte-identical to a local ShardedEngine
+// over the same partition, across refreshes — plus the front-end cache
+// observables. The stub-backend tests pin the admission-control contract
+// deterministically: shed on the in-flight bound, DeadlineExceeded from a
+// silent backend with ZERO retries, exactly one reconnect-and-resend on a
+// reset, and failure after a second reset. Runs under tsan via the
+// unit_concurrency label.
+
+#include "serve/serving_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/serialize.h"
+#include "datagen/generator.h"
+#include "dominance/kernel.h"
+#include "exec/shard_image.h"
+#include "exec/sharded_engine.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/shard_server.h"
+
+namespace nomsky {
+namespace serve {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t rows = 500) {
+  gen::GenConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 4;
+  config.seed = seed;
+  return gen::Generate(config);
+}
+
+// One shard of `engine` as a single-shard image sharing the engine's
+// source-row bound — what each backend of a per-server cluster loads.
+std::string SingleShardImage(const ShardedEngine& engine, size_t s) {
+  auto snap = engine.snapshot(s);
+  std::ostringstream out;
+  EXPECT_TRUE(ShardImage::Save(out, "slice", engine.schema(),
+                               ShardPolicy::kHash, engine.source_rows(),
+                               {ShardImage::ShardRef{&snap->data,
+                                                     &snap->global_rows,
+                                                     &snap->packed}})
+                  .ok());
+  return std::move(out).str();
+}
+
+// A cluster of real in-process ShardServers, one per shard of a local
+// reference engine built from the same data.
+class ServingClusterTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kBackends = 3;
+
+  ServingClusterTest() : data_(MakeData(29)), tmpl_(data_.schema()) {
+    EngineOptions options;
+    options.data_shards = kBackends;
+    local_ = ShardedEngine::Create("sfsd", data_, tmpl_, options).ValueOrDie();
+    for (size_t s = 0; s < kBackends; ++s) {
+      auto server = std::make_unique<ShardServer>(ShardServer::Options{});
+      EXPECT_TRUE(server->Start().ok());
+      std::istringstream in(SingleShardImage(*local_, s));
+      auto image = ShardImage::Load(in, "slice");
+      EXPECT_TRUE(image.ok()) << image.status().ToString();
+      EXPECT_TRUE(server->Bootstrap(std::move(image).ValueOrDie()).ok());
+      endpoints_.push_back(Endpoint{"127.0.0.1", server->port()});
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  ~ServingClusterTest() override {
+    for (auto& server : servers_) server->Stop();
+  }
+
+  std::unique_ptr<ServingExecutor> Connect(
+      ServingExecutor::Options options = {}) {
+    auto executor = ServingExecutor::Connect(endpoints_, options);
+    EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+    return std::move(executor).ValueOrDie();
+  }
+
+  Dataset data_;
+  PreferenceProfile tmpl_;
+  std::unique_ptr<ShardedEngine> local_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::vector<Endpoint> endpoints_;
+};
+
+TEST_F(ServingClusterTest, MergedAnswersAreByteIdenticalToLocalEngine) {
+  auto executor = Connect();
+  ASSERT_EQ(executor->num_backends(), kBackends);
+  EXPECT_EQ(executor->source_rows(), data_.num_rows());
+
+  const std::vector<std::string> queries = {
+      "nom0: v1<v0<*; nom1: v2<*",
+      "nom0: v3<*",
+      "nom1: v0<v1<v2<*",
+      "",  // empty profile: numeric-only skyline
+  };
+  for (const std::string& text : queries) {
+    auto reply = executor->Execute(text);
+    ASSERT_TRUE(reply.ok()) << text << ": " << reply.status().ToString();
+    auto query = PreferenceProfile::ParseText(data_.schema(), text);
+    ASSERT_TRUE(query.ok());
+    auto expected = local_->Query(*query);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(reply->rows, *expected) << text;
+
+    // The rebuilt values match the source table row for row.
+    ASSERT_EQ(reply->values.num_rows(), reply->rows.size());
+    for (size_t i = 0; i < reply->rows.size(); ++i) {
+      const RowValues got = reply->values.GetRow(static_cast<RowId>(i));
+      const RowValues want = data_.GetRow(reply->rows[i]);
+      EXPECT_EQ(got.numeric, want.numeric) << text << " row " << i;
+      EXPECT_EQ(got.nominal, want.nominal) << text << " row " << i;
+    }
+  }
+  EXPECT_EQ(executor->stats().queries, queries.size());
+  EXPECT_EQ(executor->stats().failures, 0u);
+}
+
+TEST_F(ServingClusterTest, FrontEndCacheHitIsObservablePerRequest) {
+  auto executor = Connect();
+  auto miss = executor->Execute("nom0: v2<*");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->cache_hit);
+  // Respaced spelling of the same query: front-end cache hit.
+  auto hit = executor->Execute("  nom0 :  v2 < *  ");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(miss->rows, hit->rows);
+  EXPECT_EQ(executor->stats().cache_hits, 1u);
+  EXPECT_EQ(executor->stats().cache_misses, 1u);
+  // The canonical text traveled, so the SERVERS saw one spelling too.
+  for (size_t b = 0; b < executor->num_backends(); ++b) {
+    auto stats = executor->ServerStats(b);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->cache_hits, 1u) << "backend " << b;
+    EXPECT_EQ(stats->cache_misses, 1u) << "backend " << b;
+  }
+}
+
+TEST_F(ServingClusterTest, RefreshThroughTheFrontEndTracksLocalRebuild) {
+  auto executor = Connect();
+  const std::string text = "nom1: v1<*";
+  ASSERT_TRUE(executor->Execute(text).ok());
+
+  // Shrink backend 1's only shard to the first half of its rows.
+  auto snap = local_->snapshot(1);
+  const size_t keep = snap->data.num_rows() / 2;
+  ASSERT_GT(keep, 0u);
+  std::vector<RowId> local_ids(keep);
+  for (size_t i = 0; i < keep; ++i) local_ids[i] = static_cast<RowId>(i);
+  Dataset subset(data_.schema());
+  ASSERT_TRUE(subset.AppendRowsFrom(snap->data, local_ids).ok());
+  std::vector<RowId> globals(snap->global_rows.begin(),
+                             snap->global_rows.begin() + keep);
+  std::ostringstream image;
+  ASSERT_TRUE(ShardImage::Save(
+                  image, "refresh", data_.schema(), ShardPolicy::kHash,
+                  local_->source_rows(),
+                  {ShardImage::ShardRef{&subset, &globals, nullptr}})
+                  .ok());
+  ASSERT_TRUE(executor->Refresh(1, 0, image.str()).ok());
+
+  Dataset mirror(data_.schema());
+  ASSERT_TRUE(mirror.AppendRowsFrom(snap->data, local_ids).ok());
+  ASSERT_TRUE(
+      local_->RebuildShard(1, std::move(mirror), std::vector<RowId>(globals))
+          .ok());
+
+  auto reply = executor->Execute(text);
+  ASSERT_TRUE(reply.ok());
+  auto query = PreferenceProfile::ParseText(data_.schema(), text);
+  ASSERT_TRUE(query.ok());
+  auto expected = local_->Query(*query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(reply->rows, *expected);
+
+  auto stats = executor->ServerStats(1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->refreshes, 1u);
+}
+
+TEST_F(ServingClusterTest, ParallelFanOutMatchesSequential) {
+  ThreadPool pool(kBackends);
+  ServingExecutor::Options pooled;
+  pooled.pool = &pool;
+  auto parallel_exec = Connect(pooled);
+  auto sequential_exec = Connect();
+  for (const char* text : {"nom0: v0<*", "nom1: v3<v0<*", ""}) {
+    auto a = parallel_exec->Execute(text);
+    auto b = sequential_exec->Execute(text);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->rows, b->rows) << text;
+  }
+}
+
+TEST_F(ServingClusterTest, ParseErrorsFailWithoutTouchingBackends) {
+  auto executor = Connect();
+  auto bad = executor->Execute("no_such_dim: v0<*");
+  ASSERT_FALSE(bad.ok());
+  for (size_t b = 0; b < executor->num_backends(); ++b) {
+    auto stats = executor->ServerStats(b);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->queries, 0u) << "backend " << b;
+  }
+  EXPECT_EQ(executor->stats().failures, 1u);
+}
+
+TEST_F(ServingClusterTest, ShutdownAllStopsEveryBackend) {
+  auto executor = Connect();
+  ASSERT_TRUE(executor->ShutdownAll().ok());
+  for (auto& server : servers_) {
+    server->WaitUntilStopped();
+    EXPECT_FALSE(server->running());
+  }
+}
+
+TEST(ServingExecutorConnectTest, RefusesBackendsWithoutAnImage) {
+  ShardServer server{ShardServer::Options{}};
+  ASSERT_TRUE(server.Start().ok());
+  auto executor = ServingExecutor::Connect(
+      {Endpoint{"127.0.0.1", server.port()}}, ServingExecutor::Options{});
+  ASSERT_FALSE(executor.ok());
+  EXPECT_TRUE(executor.status().IsUnavailable())
+      << executor.status().ToString();
+  server.Stop();
+}
+
+TEST(ServingExecutorConnectTest, RefusesMismatchedSchemas) {
+  Dataset a = MakeData(3);
+  Dataset wider = [] {
+    gen::GenConfig config;
+    config.num_rows = 200;
+    config.num_numeric = 3;  // extra dimension: different schema
+    config.num_nominal = 2;
+    config.cardinality = 4;
+    config.seed = 4;
+    return gen::Generate(config);
+  }();
+  PreferenceProfile tmpl_a(a.schema());
+  PreferenceProfile tmpl_b(wider.schema());
+  EngineOptions options;
+  options.data_shards = 1;
+  auto engine_a = ShardedEngine::Create("sfsd", a, tmpl_a, options)
+                      .ValueOrDie();
+  auto engine_b = ShardedEngine::Create("sfsd", wider, tmpl_b, options)
+                      .ValueOrDie();
+
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (ShardedEngine* engine : {engine_a.get(), engine_b.get()}) {
+    auto server = std::make_unique<ShardServer>(ShardServer::Options{});
+    ASSERT_TRUE(server->Start().ok());
+    std::istringstream in(SingleShardImage(*engine, 0));
+    auto image = ShardImage::Load(in, "slice");
+    ASSERT_TRUE(image.ok());
+    ASSERT_TRUE(server->Bootstrap(std::move(image).ValueOrDie()).ok());
+    endpoints.push_back(Endpoint{"127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  auto executor =
+      ServingExecutor::Connect(endpoints, ServingExecutor::Options{});
+  ASSERT_FALSE(executor.ok());
+  EXPECT_TRUE(executor.status().IsInvalidArgument())
+      << executor.status().ToString();
+  for (auto& server : servers) server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Stub backend: a scripted single-connection server that handshakes like a
+// ready ShardServer, then misbehaves on kQuery per its mode. Deterministic
+// drivers for the admission-control contract.
+
+class StubBackend {
+ public:
+  enum class Mode {
+    kReplyEmpty,      // well-behaved: every query gets an empty result
+    kNeverReply,      // swallow queries silently (deadline driver)
+    kCloseFirstQuery, // drop the connection on query #1, then behave
+    kCloseEveryQuery, // drop the connection on every query
+    kGated,           // hold each reply until Release() (shed driver)
+  };
+
+  StubBackend(Schema schema, Mode mode)
+      : schema_(std::move(schema)), mode_(mode) {
+    listener_ = net::TcpListener::Listen(0).ValueOrDie();
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~StubBackend() {
+    stop_.store(true);
+    Release();
+    listener_.Close();
+    thread_.join();
+  }
+
+  uint16_t port() const { return listener_.port(); }
+  int queries_seen() const { return queries_seen_.load(); }
+
+  void WaitForQuery() {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    gate_cv_.wait(lock, [this] { return queries_seen_.load() > 0; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex_);
+      released_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+
+ private:
+  std::string HelloAck() const {
+    std::ostringstream out;
+    BinaryWriter writer(out);
+    writer.Pod<uint8_t>(1);  // ready
+    WriteSchema(writer, schema_);
+    writer.Pod<uint32_t>(1);     // one shard
+    writer.Pod<uint64_t>(100);   // source-row bound
+    return std::move(out).str();
+  }
+
+  std::string EmptyResult() const {
+    const CompiledProfile neutral(schema_, PreferenceProfile(schema_));
+    PackedBlock block;
+    block.Reset(neutral.row_slots());
+    std::ostringstream out;
+    BinaryWriter writer(out);
+    block.WriteTo(writer);
+    return std::move(out).str();
+  }
+
+  void Loop() {
+    while (!stop_.load()) {
+      auto accepted = listener_.Accept(100);
+      if (!accepted.ok()) {
+        if (accepted.status().IsDeadlineExceeded()) continue;
+        return;  // listener closed
+      }
+      Serve(std::move(accepted).ValueOrDie());
+    }
+  }
+
+  void Serve(net::TcpSocket socket) {
+    while (!stop_.load()) {
+      auto frame = net::RecvFrame(socket, 100);
+      if (!frame.ok()) {
+        if (frame.status().IsDeadlineExceeded()) continue;
+        return;  // peer hung up
+      }
+      if (frame->type == net::FrameType::kHello) {
+        if (!net::SendFrame(socket, net::FrameType::kHelloAck, HelloAck())
+                 .ok()) {
+          return;
+        }
+        continue;
+      }
+      if (frame->type != net::FrameType::kQuery) continue;
+      const int seen = queries_seen_.fetch_add(1) + 1;
+      gate_cv_.notify_all();
+      switch (mode_) {
+        case Mode::kNeverReply:
+          continue;  // swallow; the client's deadline must fire
+        case Mode::kCloseEveryQuery:
+          return;
+        case Mode::kCloseFirstQuery:
+          if (seen == 1) return;
+          break;
+        case Mode::kGated: {
+          std::unique_lock<std::mutex> lock(gate_mutex_);
+          gate_cv_.wait(lock, [this] { return released_ || stop_.load(); });
+          break;
+        }
+        case Mode::kReplyEmpty:
+          break;
+      }
+      if (!net::SendFrame(socket, net::FrameType::kQueryResult, EmptyResult())
+               .ok()) {
+        return;
+      }
+    }
+  }
+
+  Schema schema_;
+  Mode mode_;
+  net::TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> queries_seen_{0};
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool released_ = false;
+};
+
+Schema StubSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNumeric("num0").ok());
+  EXPECT_TRUE(s.AddNominal("nom0", {"v0", "v1"}).ok());
+  return s;
+}
+
+std::unique_ptr<ServingExecutor> ConnectStub(const StubBackend& stub,
+                                             ServingExecutor::Options options) {
+  auto executor = ServingExecutor::Connect(
+      {Endpoint{"127.0.0.1", stub.port()}}, options);
+  EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+  return std::move(executor).ValueOrDie();
+}
+
+TEST(ServingAdmissionTest, SilentBackendIsDeadlineExceededNeverRetried) {
+  StubBackend stub(StubSchema(), StubBackend::Mode::kNeverReply);
+  ServingExecutor::Options options;
+  options.deadline_ms = 200;
+  auto executor = ConnectStub(stub, options);
+
+  auto reply = executor->Execute("nom0: v0<*");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsDeadlineExceeded())
+      << reply.status().ToString();
+  EXPECT_EQ(executor->stats().retries, 0u)
+      << "a deadline must never trigger a resend";
+  EXPECT_EQ(executor->stats().failures, 1u);
+  EXPECT_EQ(stub.queries_seen(), 1);
+}
+
+TEST(ServingAdmissionTest, ResetTriggersExactlyOneResend) {
+  StubBackend stub(StubSchema(), StubBackend::Mode::kCloseFirstQuery);
+  auto executor = ConnectStub(stub, ServingExecutor::Options{});
+
+  auto reply = executor->Execute("nom0: v0<*");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->rows.empty());
+  EXPECT_EQ(executor->stats().retries, 1u);
+  EXPECT_EQ(executor->stats().failures, 0u);
+  EXPECT_EQ(stub.queries_seen(), 2) << "original send + one resend";
+}
+
+TEST(ServingAdmissionTest, SecondResetPropagatesUnavailable) {
+  StubBackend stub(StubSchema(), StubBackend::Mode::kCloseEveryQuery);
+  auto executor = ConnectStub(stub, ServingExecutor::Options{});
+
+  auto reply = executor->Execute("nom0: v0<*");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsUnavailable()) << reply.status().ToString();
+  EXPECT_EQ(executor->stats().retries, 1u) << "one retry, not more";
+  EXPECT_EQ(stub.queries_seen(), 2);
+}
+
+TEST(ServingAdmissionTest, InflightBoundShedsImmediately) {
+  StubBackend stub(StubSchema(), StubBackend::Mode::kGated);
+  ServingExecutor::Options options;
+  options.max_inflight = 1;
+  auto executor = ConnectStub(stub, options);
+
+  std::thread admitted([&] {
+    auto reply = executor->Execute("nom0: v0<*");
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  });
+  stub.WaitForQuery();  // the admitted request is now parked in the stub
+
+  auto shed = executor->Execute("nom0: v1<*");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+
+  stub.Release();
+  admitted.join();
+  const ServingExecutorStats stats = executor->stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.failures, 0u) << "shed requests are not failures";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomsky

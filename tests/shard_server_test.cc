@@ -1,0 +1,383 @@
+// ShardServer (serve/shard_server.h) behind raw protocol frames: wire
+// bootstrap (kLoadShard payload == the on-disk image bytes), readiness in
+// the hello ack, query answers matching a local ShardedEngine built from
+// the same image, kRefresh epoch swaps mid-stream, the malformed-frame
+// robustness contract (server replies kError, drops THAT connection, and
+// keeps serving others), client-disconnect-mid-frame survival, stats
+// frames, and kShutdown. Runs under tsan via the unit_concurrency label —
+// every test exercises the accept thread + per-connection threads against
+// the main thread's server object.
+
+#include "serve/shard_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "datagen/generator.h"
+#include "exec/shard_image.h"
+#include "exec/sharded_engine.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace nomsky {
+namespace serve {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t rows = 400) {
+  gen::GenConfig config;
+  config.num_rows = rows;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 4;
+  config.seed = seed;
+  return gen::Generate(config);
+}
+
+// Serializes an engine's current snapshots into image bytes — the exact
+// payload a kLoadShard frame carries.
+std::string ImageBytes(const ShardedEngine& engine) {
+  std::vector<std::shared_ptr<const ShardSnapshot>> pins;
+  std::vector<ShardImage::ShardRef> refs;
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    pins.push_back(engine.snapshot(s));
+  }
+  for (const auto& snap : pins) {
+    refs.push_back(
+        ShardImage::ShardRef{&snap->data, &snap->global_rows, &snap->packed});
+  }
+  std::ostringstream out;
+  EXPECT_TRUE(ShardImage::Save(out, "test image", engine.schema(),
+                               ShardPolicy::kHash, engine.source_rows(), refs)
+                  .ok());
+  return std::move(out).str();
+}
+
+net::TcpSocket ConnectTo(const ShardServer& server) {
+  auto socket = net::TcpSocket::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(socket.ok()) << socket.status().ToString();
+  return std::move(socket).ValueOrDie();
+}
+
+// One request/reply exchange; fails the test on transport errors.
+net::Frame Call(net::TcpSocket& socket, net::FrameType type,
+                const std::string& payload) {
+  EXPECT_TRUE(net::SendFrame(socket, type, payload).ok());
+  auto reply = net::RecvFrame(socket, 10'000);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  return reply.ok() ? std::move(reply).ValueOrDie() : net::Frame{};
+}
+
+std::vector<RowId> ResultIds(const std::string& payload,
+                             uint64_t source_rows) {
+  std::istringstream in(payload);
+  BinaryReader reader(in);
+  PackedBlock block;
+  EXPECT_TRUE(block.ReadFrom(reader, source_rows, /*expected_stride=*/0));
+  std::vector<RowId> ids;
+  ids.reserve(block.size());
+  for (size_t i = 0; i < block.size(); ++i) ids.push_back(block.row_id(i));
+  return ids;
+}
+
+class ShardServerTest : public ::testing::Test {
+ protected:
+  ShardServerTest() : data_(MakeData(17)), tmpl_(data_.schema()) {
+    EngineOptions options;
+    options.data_shards = 2;
+    local_ = ShardedEngine::Create("sfsd", data_, tmpl_, options).ValueOrDie();
+  }
+
+  ShardServer::Options ServerOptions() {
+    ShardServer::Options options;
+    options.io_deadline_ms = 10'000;
+    return options;
+  }
+
+  Dataset data_;
+  PreferenceProfile tmpl_;
+  std::unique_ptr<ShardedEngine> local_;
+  const std::string query_text_ = "nom0: v1<v0<*; nom1: v2<*";
+};
+
+TEST_F(ShardServerTest, BootsEmptyThenLoadsOverTheWire) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.running());
+  net::TcpSocket client = ConnectTo(server);
+
+  // Before any image: hello says not-ready, queries fail but the
+  // connection survives (a failed query is not a protocol violation).
+  net::Frame hello = Call(client, net::FrameType::kHello, "");
+  ASSERT_EQ(hello.type, net::FrameType::kHelloAck);
+  ASSERT_FALSE(hello.payload.empty());
+  EXPECT_EQ(hello.payload[0], '\0');  // ready = 0
+
+  net::Frame early = Call(client, net::FrameType::kQuery, query_text_);
+  EXPECT_EQ(early.type, net::FrameType::kError);
+
+  // Bootstrap over the wire: the payload is the image file bytes.
+  net::Frame loaded =
+      Call(client, net::FrameType::kLoadShard, ImageBytes(*local_));
+  ASSERT_EQ(loaded.type, net::FrameType::kOk) << loaded.payload;
+
+  net::Frame ready = Call(client, net::FrameType::kHello, "");
+  ASSERT_EQ(ready.type, net::FrameType::kHelloAck);
+  EXPECT_EQ(ready.payload[0], '\x01');
+
+  // The served answer matches a local engine over the same snapshots.
+  net::Frame answer = Call(client, net::FrameType::kQuery, query_text_);
+  ASSERT_EQ(answer.type, net::FrameType::kQueryResult) << answer.payload;
+  auto query = PreferenceProfile::ParseText(data_.schema(), query_text_);
+  ASSERT_TRUE(query.ok());
+  auto expected = local_->Query(*query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(ResultIds(answer.payload, local_->source_rows()), *expected);
+
+  const ShardServerStats stats = server.stats();
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.query_failures, 1u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ShardServerTest, MalformedFramesDropOnlyTheirConnection) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  net::TcpSocket good = ConnectTo(server);
+  ASSERT_EQ(Call(good, net::FrameType::kLoadShard, ImageBytes(*local_)).type,
+            net::FrameType::kOk);
+
+  // A version-bumped header gets a best-effort kError, then the connection
+  // is dropped (EOF on the next read).
+  {
+    net::TcpSocket bad = ConnectTo(server);
+    auto header = net::EncodeFrameHeader(net::FrameType::kQuery, 0);
+    header[0] = net::kProtocolVersion + 1;
+    ASSERT_TRUE(bad.SendAll(header.data(), header.size()).ok());
+    auto reply = net::RecvFrame(bad, 10'000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, net::FrameType::kError);
+    auto after = net::RecvFrame(bad, 10'000);
+    ASSERT_FALSE(after.ok());
+    EXPECT_TRUE(after.status().IsUnavailable()) << after.status().ToString();
+  }
+
+  // A structurally valid frame that is not a request is rejected too.
+  {
+    net::TcpSocket confused = ConnectTo(server);
+    ASSERT_TRUE(
+        net::SendFrame(confused, net::FrameType::kQueryResult, "").ok());
+    auto reply = net::RecvFrame(confused, 10'000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, net::FrameType::kError);
+  }
+
+  // The well-behaved connection is unaffected.
+  net::Frame answer = Call(good, net::FrameType::kQuery, query_text_);
+  EXPECT_EQ(answer.type, net::FrameType::kQueryResult);
+  EXPECT_GE(server.stats().rejected_frames, 2u);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  ShardServer::Options options = ServerOptions();
+  options.max_payload = 4096;  // a hostile prefix must beat THIS cap
+  ShardServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::TcpSocket client = ConnectTo(server);
+  // Header claims 1 MiB; no payload follows. The server must reject on the
+  // header alone — before allocating — and drop the connection.
+  const auto header = net::EncodeFrameHeader(net::FrameType::kLoadShard,
+                                             1u << 20);
+  ASSERT_TRUE(client.SendAll(header.data(), header.size()).ok());
+  auto reply = net::RecvFrame(client, 10'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, net::FrameType::kError);
+  EXPECT_EQ(server.stats().rejected_frames, 1u);
+
+  // The server still accepts fresh connections afterwards.
+  net::TcpSocket next = ConnectTo(server);
+  EXPECT_EQ(Call(next, net::FrameType::kHello, "").type,
+            net::FrameType::kHelloAck);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, ClientVanishingMidFrameIsSurvived) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    net::TcpSocket client = ConnectTo(server);
+    // Promise a 64-byte payload, deliver half of it, hang up.
+    const auto header = net::EncodeFrameHeader(net::FrameType::kQuery, 64);
+    ASSERT_TRUE(client.SendAll(header.data(), header.size()).ok());
+    ASSERT_TRUE(client.SendAll("half of the promised bytes begin", 32).ok());
+  }  // closed here
+  {
+    net::TcpSocket client = ConnectTo(server);
+    // Hang up with no bytes at all, too.
+  }
+  net::TcpSocket client = ConnectTo(server);
+  EXPECT_EQ(Call(client, net::FrameType::kHello, "").type,
+            net::FrameType::kHelloAck);
+  EXPECT_TRUE(server.running());
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, RefreshSwapsOneShardMidStream) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  net::TcpSocket client = ConnectTo(server);
+  ASSERT_EQ(Call(client, net::FrameType::kLoadShard, ImageBytes(*local_)).type,
+            net::FrameType::kOk);
+
+  // Replacement content for shard 0: the first half of its current rows
+  // (keeps global ids disjoint from shard 1 by construction).
+  auto snap = local_->snapshot(0);
+  const size_t keep = snap->data.num_rows() / 2;
+  ASSERT_GT(keep, 0u);
+  std::vector<RowId> local_ids(keep);
+  for (size_t i = 0; i < keep; ++i) local_ids[i] = static_cast<RowId>(i);
+  Dataset subset(data_.schema());
+  ASSERT_TRUE(subset.AppendRowsFrom(snap->data, local_ids).ok());
+  std::vector<RowId> globals(snap->global_rows.begin(),
+                             snap->global_rows.begin() + keep);
+
+  // A refresh frame: u32 shard index + a SINGLE-shard image.
+  std::ostringstream image_out;
+  ASSERT_TRUE(ShardImage::Save(
+                  image_out, "refresh", data_.schema(), ShardPolicy::kHash,
+                  local_->source_rows(),
+                  {ShardImage::ShardRef{&subset, &globals, nullptr}})
+                  .ok());
+  std::ostringstream payload_out;
+  BinaryWriter writer(payload_out);
+  writer.Pod<uint32_t>(0);
+  const std::string image = std::move(image_out).str();
+  writer.Bytes(image.data(), image.size());
+
+  ASSERT_EQ(Call(client, net::FrameType::kRefresh, payload_out.str()).type,
+            net::FrameType::kOk);
+  EXPECT_EQ(server.stats().refreshes, 1u);
+
+  // Mirror the rebuild locally; served answers must track the new epoch.
+  Dataset mirror(data_.schema());
+  ASSERT_TRUE(mirror.AppendRowsFrom(snap->data, local_ids).ok());
+  ASSERT_TRUE(local_->RebuildShard(0, std::move(mirror),
+                                   std::vector<RowId>(globals))
+                  .ok());
+  auto query = PreferenceProfile::ParseText(data_.schema(), query_text_);
+  ASSERT_TRUE(query.ok());
+  auto expected = local_->Query(*query);
+  ASSERT_TRUE(expected.ok());
+  net::Frame answer = Call(client, net::FrameType::kQuery, query_text_);
+  ASSERT_EQ(answer.type, net::FrameType::kQueryResult) << answer.payload;
+  EXPECT_EQ(ResultIds(answer.payload, local_->source_rows()), *expected);
+
+  // A multi-shard payload is NOT a refresh.
+  std::ostringstream bad_out;
+  BinaryWriter bad_writer(bad_out);
+  bad_writer.Pod<uint32_t>(0);
+  const std::string full = ImageBytes(*local_);
+  bad_writer.Bytes(full.data(), full.size());
+  EXPECT_EQ(Call(client, net::FrameType::kRefresh, bad_out.str()).type,
+            net::FrameType::kError);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, StatsFrameAndQueryCacheCounters) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  net::TcpSocket client = ConnectTo(server);
+  ASSERT_EQ(Call(client, net::FrameType::kLoadShard, ImageBytes(*local_)).type,
+            net::FrameType::kOk);
+
+  // Same query twice — a respaced spelling still hits the cache.
+  ASSERT_EQ(Call(client, net::FrameType::kQuery, query_text_).type,
+            net::FrameType::kQueryResult);
+  ASSERT_EQ(Call(client, net::FrameType::kQuery,
+                 "nom0:  v1 < v0 < * ;nom1: v2<*")
+                .type,
+            net::FrameType::kQueryResult);
+
+  net::Frame stats_frame = Call(client, net::FrameType::kStats, "");
+  ASSERT_EQ(stats_frame.type, net::FrameType::kStatsResult);
+  std::istringstream in(stats_frame.payload);
+  BinaryReader reader(in);
+  uint64_t wire[7] = {0, 0, 0, 0, 0, 0, 0};
+  for (uint64_t& field : wire) ASSERT_TRUE(reader.Pod(&field));
+  const ShardServerStats stats = server.stats();
+  EXPECT_EQ(wire[0], stats.queries);
+  EXPECT_EQ(wire[0], 2u);
+  EXPECT_EQ(wire[1], stats.query_failures);
+  EXPECT_EQ(wire[5], stats.cache_hits);
+  EXPECT_EQ(wire[5], 1u);
+  EXPECT_EQ(wire[6], stats.cache_misses);
+  EXPECT_EQ(wire[6], 1u);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, ShutdownFrameStopsTheServer) {
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  std::istringstream image_in(ImageBytes(*local_));
+  auto image = ShardImage::Load(image_in, "bootstrap");
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  ASSERT_TRUE(server.Bootstrap(std::move(image).ValueOrDie()).ok());
+  const uint16_t port = server.port();
+
+  net::TcpSocket client = ConnectTo(server);
+  EXPECT_EQ(Call(client, net::FrameType::kShutdown, "").type,
+            net::FrameType::kOk);
+  server.WaitUntilStopped();
+  EXPECT_FALSE(server.running());
+
+  // The listener is gone: nobody answers this port any more.
+  auto refused = net::TcpSocket::Connect("127.0.0.1", port);
+  EXPECT_FALSE(refused.ok());
+
+  server.Stop();  // idempotent
+}
+
+TEST_F(ShardServerTest, BootstrapBeforeStartServesImmediately) {
+  std::istringstream image_in(ImageBytes(*local_));
+  auto image = ShardImage::Load(image_in, "bootstrap");
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  ShardServer server(ServerOptions());
+  ASSERT_TRUE(server.Bootstrap(std::move(image).ValueOrDie()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  net::TcpSocket client = ConnectTo(server);
+  net::Frame hello = Call(client, net::FrameType::kHello, "");
+  ASSERT_EQ(hello.type, net::FrameType::kHelloAck);
+  ASSERT_FALSE(hello.payload.empty());
+  EXPECT_EQ(hello.payload[0], '\x01');  // ready immediately
+
+  // The ack carries schema + topology: readable back with ReadSchema.
+  std::istringstream in(hello.payload);
+  BinaryReader reader(in);
+  uint8_t ready = 0;
+  ASSERT_TRUE(reader.Pod(&ready));
+  auto schema = ReadSchema(reader);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->num_dims(), data_.schema().num_dims());
+  uint32_t num_shards = 0;
+  uint64_t source_rows = 0;
+  ASSERT_TRUE(reader.Pod(&num_shards));
+  ASSERT_TRUE(reader.Pod(&source_rows));
+  EXPECT_EQ(num_shards, 2u);
+  EXPECT_EQ(source_rows, data_.num_rows());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nomsky

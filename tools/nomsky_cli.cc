@@ -4,8 +4,12 @@
 //   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
 //              [--engine NAME|auto|sharded:NAME] [--threads N] [--shards K]
 //              [--batch FILE] [--explain] [--topk K] [--limit N]
-//              [--save-shards FILE] [--load-shards FILE] [QUERY ...]
+//              [--save-shards FILE] [--load-shards FILE]
+//              [--split-shards PREFIX] [QUERY ...]
 //   nomsky_cli --load-shards FILE [--template PREFS] [QUERY ...]
+//   nomsky_cli --serve PORT [--load-shards FILE] [--engine sharded:NAME]
+//   nomsky_cli --connect HOST:PORT[,HOST:PORT...] [--push-image FILE]
+//              [--refresh SHARD:FILE] [--stats] [--shutdown] [QUERY ...]
 //   nomsky_cli --list-engines
 //
 // SPEC is a comma-separated dimension list:
@@ -29,7 +33,18 @@
 // straight from one. With --csv, the image is validated against the table
 // and replaces partition + pack; WITHOUT --csv the image alone is the data
 // source — schema, rows and the pre-packed kernel layout all come from the
-// file (no --schema, no parse).
+// file (no --schema, no parse). --split-shards PREFIX writes each shard as
+// its own SINGLE-shard image (PREFIX.<s>.nshi) — the per-server slices a
+// networked cluster bootstraps from.
+//
+// Networked serving (serve/shard_server.h, serve/serving_executor.h):
+// --serve runs a shard server on 127.0.0.1:PORT (0 = ephemeral; the bound
+// address is printed on stdout), optionally preloaded via --load-shards,
+// until a Shutdown frame arrives. --connect runs queries against a comma-
+// separated server list with ShardedEngine-identical results, or performs
+// admin calls: --push-image (bootstrap one server, single endpoint),
+// --refresh SHARD:FILE (epoch-swap one shard from a single-shard image),
+// --stats (print serving counters), --shutdown (stop every listed server).
 //
 // Example:
 //   nomsky_cli --csv packages.csv --schema "price:min,stars:max,group:nom{T|H|M}" "group: T<M<*"
@@ -39,11 +54,14 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "datagen/csv.h"
@@ -53,6 +71,10 @@
 #include "exec/shard_image.h"
 #include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/serving_executor.h"
+#include "serve/shard_server.h"
 
 namespace nomsky {
 namespace {
@@ -91,21 +113,65 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
   return schema;
 }
 
-Result<PreferenceProfile> ParsePrefsText(const Schema& schema,
-                                         const std::string& text) {
-  std::vector<std::pair<std::string, std::string>> prefs;
-  for (const std::string& raw : Split(text, ';')) {
+Result<std::vector<serve::Endpoint>> ParseEndpoints(const std::string& spec) {
+  std::vector<serve::Endpoint> endpoints;
+  for (const std::string& raw : Split(spec, ',')) {
     std::string part = Trim(raw);
     if (part.empty()) continue;
-    size_t colon = part.find(':');
+    serve::Endpoint endpoint;
+    const size_t colon = part.rfind(':');
     if (colon == std::string::npos) {
-      return Status::InvalidArgument("preference '", part,
-                                     "' missing 'dim: ...'");
+      return Status::InvalidArgument("endpoint '", part,
+                                     "' is not HOST:PORT");
     }
-    prefs.emplace_back(Trim(part.substr(0, colon)),
-                       Trim(part.substr(colon + 1)));
+    endpoint.host = part.substr(0, colon);
+    const long port = std::atol(part.substr(colon + 1).c_str());
+    if (endpoint.host.empty() || port <= 0 || port > 65535) {
+      return Status::InvalidArgument("endpoint '", part,
+                                     "' is not HOST:PORT");
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    endpoints.push_back(std::move(endpoint));
   }
-  return PreferenceProfile::Parse(schema, prefs);
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("--connect got no endpoints");
+  }
+  return endpoints;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '", path, "'");
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return std::move(bytes).str();
+}
+
+// Admin exchanges (push/refresh/stats/shutdown) speak raw frames on a fresh
+// connection instead of going through ServingExecutor::Connect — the
+// executor's handshake refuses servers with no image loaded, and loading an
+// image is exactly what the push path is for.
+Result<net::Frame> AdminCall(const serve::Endpoint& endpoint,
+                             net::FrameType type, const std::string& payload,
+                             net::FrameType expected_reply) {
+  NOMSKY_ASSIGN_OR_RETURN(
+      net::TcpSocket socket,
+      net::TcpSocket::Connect(endpoint.host, endpoint.port));
+  NOMSKY_RETURN_NOT_OK(net::SendFrame(socket, type, payload));
+  NOMSKY_ASSIGN_OR_RETURN(net::Frame reply,
+                          net::RecvFrame(socket, /*deadline_ms=*/30'000));
+  if (reply.type == net::FrameType::kError) {
+    return Status::Internal(endpoint.host, ":", endpoint.port, ": ",
+                            reply.payload);
+  }
+  if (reply.type != expected_reply) {
+    return Status::Internal(endpoint.host, ":", endpoint.port,
+                            " answered with a ",
+                            net::FrameTypeName(reply.type), " frame");
+  }
+  return reply;
 }
 
 // Where row values are read from for output: the source table when we have
@@ -174,11 +240,289 @@ void PrintRows(const RowView& view, const std::vector<RowId>& rows,
   }
 }
 
+int RunServe(uint16_t port, const std::string& load_shards_path,
+             const std::string& engine_name, size_t threads,
+             size_t cache_capacity) {
+  serve::ShardServer::Options options;
+  options.port = port;
+  options.threads = threads;
+  options.cache_capacity = cache_capacity;
+  if (engine_name.rfind("sharded:", 0) == 0) {
+    options.inner_engine = engine_name.substr(8);
+  }
+  serve::ShardServer server(std::move(options));
+  if (!load_shards_path.empty()) {
+    auto image = ShardImage::Load(load_shards_path);
+    if (!image.ok()) {
+      std::fprintf(stderr, "shard image: %s\n",
+                   image.status().ToString().c_str());
+      return 2;
+    }
+    Status boot = server.Bootstrap(std::move(image).ValueOrDie());
+    if (!boot.ok()) {
+      std::fprintf(stderr, "bootstrap: %s\n", boot.ToString().c_str());
+      return 2;
+    }
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  // The bound address goes to STDOUT so scripts can capture an ephemeral
+  // port; everything else the server prints goes to stderr.
+  std::printf("listening 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.WaitUntilStopped();
+  const serve::ShardServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "server stopped: %llu queries (%llu failed), %llu refreshes, "
+               "%llu loads, %llu rejected frames\n",
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(stats.query_failures),
+               static_cast<unsigned long long>(stats.refreshes),
+               static_cast<unsigned long long>(stats.loads),
+               static_cast<unsigned long long>(stats.rejected_frames));
+  return 0;
+}
+
+struct ConnectArgs {
+  std::string endpoints_spec;
+  std::string push_image_path;
+  std::string refresh_spec;  // "SHARD:FILE"
+  bool stats = false;
+  bool shutdown = false;
+  bool explain = false;
+  size_t limit = 20;
+  size_t cache_capacity = 256;
+  std::string batch_path;
+  std::vector<std::string> query_texts;
+};
+
+int RunConnect(ConnectArgs args) {
+  auto parsed = ParseEndpoints(args.endpoints_spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<serve::Endpoint> endpoints = std::move(parsed).ValueOrDie();
+  bool did_admin = false;
+
+  if (!args.push_image_path.empty()) {
+    if (endpoints.size() != 1) {
+      std::fprintf(stderr,
+                   "--push-image bootstraps ONE server (each holds its own "
+                   "slice); got %zu endpoints\n",
+                   endpoints.size());
+      return 2;
+    }
+    auto bytes = ReadFileBytes(args.push_image_path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "--push-image: %s\n",
+                   bytes.status().ToString().c_str());
+      return 2;
+    }
+    auto reply = AdminCall(endpoints[0], net::FrameType::kLoadShard, *bytes,
+                           net::FrameType::kOk);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "--push-image: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pushed %zu-byte image to %s:%u\n", bytes->size(),
+                 endpoints[0].host.c_str(),
+                 static_cast<unsigned>(endpoints[0].port));
+    did_admin = true;
+  }
+
+  if (!args.refresh_spec.empty()) {
+    if (endpoints.size() != 1) {
+      std::fprintf(stderr, "--refresh targets ONE server; got %zu\n",
+                   endpoints.size());
+      return 2;
+    }
+    const size_t colon = args.refresh_spec.find(':');
+    const long shard =
+        colon == std::string::npos
+            ? -1
+            : std::atol(args.refresh_spec.substr(0, colon).c_str());
+    if (shard < 0 || colon == std::string::npos ||
+        colon + 1 >= args.refresh_spec.size()) {
+      std::fprintf(stderr, "--refresh wants SHARD:FILE, got '%s'\n",
+                   args.refresh_spec.c_str());
+      return 2;
+    }
+    auto bytes = ReadFileBytes(args.refresh_spec.substr(colon + 1));
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "--refresh: %s\n",
+                   bytes.status().ToString().c_str());
+      return 2;
+    }
+    std::ostringstream payload;
+    BinaryWriter writer(payload);
+    writer.Pod<uint32_t>(static_cast<uint32_t>(shard));
+    writer.Bytes(bytes->data(), bytes->size());
+    auto reply = AdminCall(endpoints[0], net::FrameType::kRefresh,
+                           std::move(payload).str(), net::FrameType::kOk);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "--refresh: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "refreshed shard %ld on %s:%u\n", shard,
+                 endpoints[0].host.c_str(),
+                 static_cast<unsigned>(endpoints[0].port));
+    did_admin = true;
+  }
+
+  if (args.stats) {
+    for (const serve::Endpoint& endpoint : endpoints) {
+      auto reply = AdminCall(endpoint, net::FrameType::kStats, "",
+                             net::FrameType::kStatsResult);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "--stats: %s\n",
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      std::istringstream in(reply->payload);
+      BinaryReader reader(in);
+      serve::ShardServerStats stats;
+      if (!reader.Pod(&stats.queries) ||
+          !reader.Pod(&stats.query_failures) ||
+          !reader.Pod(&stats.refreshes) || !reader.Pod(&stats.loads) ||
+          !reader.Pod(&stats.rejected_frames) ||
+          !reader.Pod(&stats.cache_hits) ||
+          !reader.Pod(&stats.cache_misses)) {
+        std::fprintf(stderr, "--stats: truncated reply from %s:%u\n",
+                     endpoint.host.c_str(),
+                     static_cast<unsigned>(endpoint.port));
+        return 1;
+      }
+      std::printf("server %s:%u: queries=%llu failures=%llu refreshes=%llu "
+                  "loads=%llu rejected=%llu cache_hits=%llu "
+                  "cache_misses=%llu\n",
+                  endpoint.host.c_str(),
+                  static_cast<unsigned>(endpoint.port),
+                  static_cast<unsigned long long>(stats.queries),
+                  static_cast<unsigned long long>(stats.query_failures),
+                  static_cast<unsigned long long>(stats.refreshes),
+                  static_cast<unsigned long long>(stats.loads),
+                  static_cast<unsigned long long>(stats.rejected_frames),
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses));
+    }
+    did_admin = true;
+  }
+
+  if (!args.batch_path.empty()) {
+    std::ifstream in(args.batch_path);
+    if (!in) {
+      std::fprintf(stderr, "--batch: cannot open %s\n",
+                   args.batch_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!Trim(line).empty()) args.query_texts.push_back(line);
+    }
+  }
+
+  int exit_code = 0;
+  const bool interactive =
+      args.query_texts.empty() && !did_admin && !args.shutdown;
+  if (!args.query_texts.empty() || interactive) {
+    serve::ServingExecutor::Options options;
+    options.cache_capacity = args.cache_capacity;
+    auto connected = serve::ServingExecutor::Connect(endpoints, options);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<serve::ServingExecutor> executor =
+        std::move(connected).ValueOrDie();
+    std::fprintf(stderr, "connected to %zu server(s), %llu source rows\n",
+                 executor->num_backends(),
+                 static_cast<unsigned long long>(executor->source_rows()));
+
+    auto run_one = [&](const std::string& text) {
+      WallTimer timer;
+      auto reply = executor->Execute(text);
+      if (args.explain) {
+        std::fprintf(stderr, "serve: %zu backend(s), query cache %s\n",
+                     executor->num_backends(),
+                     reply.ok() && reply->cache_hit ? "hit" : "miss");
+      }
+      if (!reply.ok()) {
+        std::fprintf(stderr, "query: %s\n",
+                     reply.status().ToString().c_str());
+        exit_code = 1;
+        return;
+      }
+      std::fprintf(stderr, "%zu skyline rows in %.2f ms\n",
+                   reply->rows.size(), timer.ElapsedMillis());
+      // The reply's values dataset holds the result rows by POSITION
+      // (row i of `values` is reply->rows[i]); print through identity ids.
+      std::vector<RowId> identity(reply->rows.size());
+      std::iota(identity.begin(), identity.end(), RowId{0});
+      PrintRows(RowView(reply->values), identity, args.limit);
+    };
+
+    if (!args.query_texts.empty()) {
+      for (const std::string& text : args.query_texts) {
+        std::fprintf(stderr, "# %s\n", text.c_str());
+        run_one(text);
+      }
+    } else {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (Trim(line).empty()) continue;
+        run_one(line);
+      }
+    }
+    const serve::ServingExecutorStats stats = executor->stats();
+    const serve::ParsedQueryCache::Stats cache = executor->cache().stats();
+    std::fprintf(stderr,
+                 "serving: %llu ok, %llu failed, %llu shed, %llu retries; "
+                 "query cache: %llu hits, %llu misses, %llu evictions\n",
+                 static_cast<unsigned long long>(stats.queries),
+                 static_cast<unsigned long long>(stats.failures),
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.retries),
+                 static_cast<unsigned long long>(cache.hits),
+                 static_cast<unsigned long long>(cache.misses),
+                 static_cast<unsigned long long>(cache.evictions));
+  }
+
+  if (args.shutdown) {
+    for (const serve::Endpoint& endpoint : endpoints) {
+      auto reply =
+          AdminCall(endpoint, net::FrameType::kShutdown, "",
+                    net::FrameType::kOk);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "--shutdown: %s\n",
+                     reply.status().ToString().c_str());
+        exit_code = 1;
+        continue;
+      }
+      std::fprintf(stderr, "shutdown acknowledged by %s:%u\n",
+                   endpoint.host.c_str(),
+                   static_cast<unsigned>(endpoint.port));
+    }
+  }
+  return exit_code;
+}
+
 int Run(int argc, char** argv) {
   std::string csv_path, schema_spec, template_text, batch_path;
-  std::string save_shards_path, load_shards_path;
+  std::string save_shards_path, load_shards_path, split_shards_prefix;
   std::string engine_name;  // default resolved after flag parsing
+  long serve_port = -1;     // >= 0 arms serve mode
+  ConnectArgs connect;
   size_t topk = 10, limit = 20, threads = 1, shards = 0;
+  size_t query_cache = 256;
   bool explain = false;
   std::vector<std::string> query_texts;
 
@@ -219,6 +563,31 @@ int Run(int argc, char** argv) {
       save_shards_path = need_value("--save-shards");
     } else if (arg == "--load-shards") {
       load_shards_path = need_value("--load-shards");
+    } else if (arg == "--split-shards") {
+      split_shards_prefix = need_value("--split-shards");
+    } else if (arg == "--serve") {
+      serve_port = std::atol(need_value("--serve"));
+      if (serve_port < 0 || serve_port > 65535) {
+        std::fprintf(stderr, "--serve PORT must be 0..65535 (0 = pick)\n");
+        return 2;
+      }
+    } else if (arg == "--connect") {
+      connect.endpoints_spec = need_value("--connect");
+    } else if (arg == "--push-image") {
+      connect.push_image_path = need_value("--push-image");
+    } else if (arg == "--refresh") {
+      connect.refresh_spec = need_value("--refresh");
+    } else if (arg == "--stats") {
+      connect.stats = true;
+    } else if (arg == "--shutdown") {
+      connect.shutdown = true;
+    } else if (arg == "--query-cache") {
+      long value = std::atol(need_value("--query-cache"));
+      if (value < 1) {
+        std::fprintf(stderr, "--query-cache must be >= 1\n");
+        return 2;
+      }
+      query_cache = static_cast<size_t>(value);
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--list-engines") {
@@ -237,15 +606,47 @@ int Run(int argc, char** argv) {
                   "[--template PREFS] [--engine NAME|auto|sharded:NAME] "
                   "[--threads N] [--shards K] [--batch FILE] [--explain] "
                   "[--topk K] [--limit N] [--save-shards FILE] "
-                  "[--load-shards FILE] [QUERY ...]\n"
+                  "[--load-shards FILE] [--split-shards PREFIX] "
+                  "[QUERY ...]\n"
                   "       nomsky_cli --load-shards FILE [--template PREFS] "
                   "[QUERY ...]\n"
+                  "       nomsky_cli --serve PORT [--load-shards FILE] "
+                  "[--engine sharded:NAME] [--threads N] "
+                  "[--query-cache N]\n"
+                  "       nomsky_cli --connect HOST:PORT[,...] "
+                  "[--push-image FILE] [--refresh SHARD:FILE] [--stats] "
+                  "[--shutdown] [--batch FILE] [--explain] [QUERY ...]\n"
                   "       nomsky_cli --list-engines\n");
       return 0;
     } else {
       query_texts.push_back(arg);
     }
   }
+
+  // Networked modes branch off before the local-data requirements: a
+  // client needs no data source at all, and a server needs at most an
+  // image to preload.
+  if (!connect.endpoints_spec.empty()) {
+    connect.explain = explain;
+    connect.limit = limit;
+    connect.cache_capacity = query_cache;
+    connect.batch_path = batch_path;
+    connect.query_texts = std::move(query_texts);
+    return RunConnect(std::move(connect));
+  }
+  if (serve_port >= 0) {
+    if (!csv_path.empty() || !schema_spec.empty()) {
+      std::fprintf(stderr,
+                   "--serve feeds from --load-shards (or a pushed image); "
+                   "drop --csv/--schema\n");
+      return 2;
+    }
+    if (threads == 0) threads = ThreadPool::DefaultThreads();
+    if (engine_name.empty()) engine_name = "sharded";
+    return RunServe(static_cast<uint16_t>(serve_port), load_shards_path,
+                    engine_name, threads, query_cache);
+  }
+
   const bool image_only = !load_shards_path.empty() && csv_path.empty();
   if (!image_only && (csv_path.empty() || schema_spec.empty())) {
     std::fprintf(stderr,
@@ -304,7 +705,7 @@ int Run(int argc, char** argv) {
   }
   PreferenceProfile tmpl(schema);
   if (!template_text.empty()) {
-    auto parsed = ParsePrefsText(schema, template_text);
+    auto parsed = PreferenceProfile::ParseText(schema, template_text);
     if (!parsed.ok()) {
       std::fprintf(stderr, "template: %s\n",
                    parsed.status().ToString().c_str());
@@ -369,6 +770,37 @@ int Run(int argc, char** argv) {
                  save_shards_path.c_str());
   }
 
+  if (!split_shards_prefix.empty()) {
+    auto* sharded = dynamic_cast<ShardedEngine*>(engine.get());
+    if (sharded == nullptr) {
+      std::fprintf(stderr,
+                   "--split-shards needs a sharded engine "
+                   "(--engine sharded[:<inner>]), got '%s'\n",
+                   engine_name.c_str());
+      return 2;
+    }
+    // One SINGLE-shard image per shard, all sharing the source-table row
+    // bound: the per-server slices of a networked cluster. Any one of them
+    // also is a valid --refresh payload for its shard.
+    for (size_t s = 0; s < sharded->num_shards(); ++s) {
+      auto snap = sharded->snapshot(s);
+      const std::string path =
+          split_shards_prefix + "." + std::to_string(s) + ".nshi";
+      Status saved = ShardImage::Save(
+          path, sharded->schema(), engine_options.shard_policy,
+          sharded->source_rows(),
+          {ShardImage::ShardRef{&snap->data, &snap->global_rows,
+                                &snap->packed}});
+      if (!saved.ok()) {
+        std::fprintf(stderr, "--split-shards: %s\n",
+                     saved.ToString().c_str());
+        return 2;
+      }
+    }
+    std::fprintf(stderr, "split %zu shards to %s.<s>.nshi\n",
+                 sharded->num_shards(), split_shards_prefix.c_str());
+  }
+
   // Row values for output come from the table when we have one, else from
   // the engine's snapshots.
   std::optional<RowView> view;
@@ -407,7 +839,7 @@ int Run(int argc, char** argv) {
     std::vector<PreferenceProfile> queries;
     queries.reserve(query_texts.size());
     for (const std::string& text : query_texts) {
-      auto query = ParsePrefsText(schema, text);
+      auto query = PreferenceProfile::ParseText(schema, text);
       if (!query.ok()) {
         std::fprintf(stderr, "query '%s': %s\n", text.c_str(),
                      query.status().ToString().c_str());
@@ -445,7 +877,7 @@ int Run(int argc, char** argv) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (Trim(line).empty()) continue;
-    auto query = ParsePrefsText(schema, line);
+    auto query = PreferenceProfile::ParseText(schema, line);
     if (!query.ok()) {
       std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
       continue;
