@@ -1,0 +1,307 @@
+// Result cache: cold fan-out/merge vs exact-hit vs subsumption-hit vs the
+// latency-fed adaptive planner, on one sharded engine and one query
+// rotation.
+//
+// Legs (one figure, one point, four engine entries):
+//   * cold          — cache-off sharded engine answering every profile
+//                     fresh: the fan-out + merge floor.
+//   * exact-hit     — cache-armed engine primed with the rotation, then
+//                     repeats: every answer is a canonical-text hit.
+//   * subsumed-hit  — DISTINCT refinements of the cached profiles, one
+//                     lookup each (a repeat would be promoted to an exact
+//                     hit and stop measuring the refilter): every answer
+//                     re-filters a cached superset through the kernel.
+//   * planner-adapted — AutoEngine with the measured-latency feedback loop
+//                     armed, timed after its warmup has drained.
+//
+// Before any timing, every cached path is equivalence-checked against the
+// cache-off engine on a separate instance: exact and subsumed answers must
+// be BYTE-identical (same rows, same order), the adaptive route
+// set-identical; any divergence exits 1. The timed legs additionally
+// enforce the verdict they exist to measure, so a mis-primed rotation
+// fails loudly instead of timing the wrong path.
+//
+// NOMSKY_SCALE scales the dataset; NOMSKY_QUERIES scales repeat volume.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "exec/planner.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "harness.h"
+#include "skyline/naive.h"
+
+using namespace nomsky;
+
+namespace {
+
+constexpr size_t kShards = 2;
+
+std::vector<RowId> SortedCopy(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+PreferenceProfile ProfileWithChoices(const Schema& schema, size_t dim,
+                                     const std::vector<ValueId>& choices) {
+  PreferenceProfile profile(schema);
+  const size_t card = schema.dim(schema.nominal_dims()[dim]).cardinality();
+  auto pref = ImplicitPreference::Make(card, choices);
+  if (!pref.ok() || !profile.SetPref(dim, *pref).ok()) {
+    std::fprintf(stderr, "profile construction failed\n");
+    std::exit(1);
+  }
+  return profile;
+}
+
+std::unique_ptr<ShardedEngine> MakeEngine(const Dataset& data,
+                                          const PreferenceProfile& tmpl,
+                                          ThreadPool* pool,
+                                          size_t cache_capacity) {
+  EngineOptions options;
+  options.pool = pool;
+  options.data_shards = kShards;
+  options.result_cache_capacity = cache_capacity;
+  auto engine = ShardedEngine::Create("sfsd", data, tmpl, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(engine).ValueOrDie();
+}
+
+std::vector<RowId> Served(const ShardedEngine& engine,
+                          const PreferenceProfile& query,
+                          CacheVerdict* verdict) {
+  auto rows = engine.QueryServed(query, nullptr, verdict);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "query: %s\n", rows.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(rows).ValueOrDie();
+}
+
+void RequireVerdict(CacheVerdict got, CacheVerdict want, const char* leg) {
+  if (got != want) {
+    std::fprintf(stderr, "%s leg expected a %s answer but got %s\n", leg,
+                 CacheVerdictName(want), CacheVerdictName(got));
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kDatasetSeed = 42;
+  gen::GenConfig config;
+  config.num_rows = bench::ScaledRows(40000);
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.distribution = gen::Distribution::kAnticorrelated;
+  config.seed = kDatasetSeed;
+  Dataset data = gen::Generate(config);
+  const Schema& schema = data.schema();
+  PreferenceProfile tmpl(schema);
+  ThreadPool pool(4);
+
+  // The rotation: single-choice base profiles on both nominal dimensions —
+  // the weak, popular profiles a serving tier would keep hot.
+  std::vector<PreferenceProfile> bases;
+  for (ValueId v = 0; v < 4; ++v) {
+    bases.push_back(ProfileWithChoices(schema, 0, {v}));
+  }
+  bases.push_back(ProfileWithChoices(schema, 1, {0}));
+  bases.push_back(ProfileWithChoices(schema, 1, {1}));
+
+  // Distinct refinements: extend each base's choice list with every other
+  // value, then with ordered pairs — each profile refines its base and is
+  // queried EXACTLY once on the subsumed leg.
+  const size_t kQueries = bench::EnvQueries(4);
+  const size_t wanted_refinements = 12 * kQueries;
+  std::vector<PreferenceProfile> refinements;
+  const size_t card0 = schema.dim(schema.nominal_dims()[0]).cardinality();
+  for (ValueId a = 0; a < 4 && refinements.size() < wanted_refinements; ++a) {
+    for (ValueId x = 0; x < card0; ++x) {
+      if (x == a) continue;
+      refinements.push_back(ProfileWithChoices(schema, 0, {a, x}));
+      for (ValueId y = 0; y < card0; ++y) {
+        if (y == a || y == x) continue;
+        refinements.push_back(ProfileWithChoices(schema, 0, {a, x, y}));
+      }
+    }
+  }
+  if (refinements.size() > wanted_refinements) {
+    refinements.resize(wanted_refinements);
+  }
+
+  auto cold_engine = MakeEngine(data, tmpl, &pool, /*cache_capacity=*/0);
+
+  // ---- Equivalence before any timing --------------------------------
+  // A throwaway armed engine walks the exact sequence the timed legs will
+  // run; every cached answer must match the cache-off engine byte-for-byte.
+  {
+    auto check = MakeEngine(data, tmpl, &pool, /*cache_capacity=*/1024);
+    CacheVerdict verdict = CacheVerdict::kMiss;
+    for (const PreferenceProfile& base : bases) {
+      std::vector<RowId> fresh = Served(*cold_engine, base, nullptr);
+      std::vector<RowId> miss = Served(*check, base, &verdict);
+      RequireVerdict(verdict, CacheVerdict::kMiss, "check");
+      std::vector<RowId> hit = Served(*check, base, &verdict);
+      RequireVerdict(verdict, CacheVerdict::kHit, "check");
+      if (miss != fresh || hit != fresh) {
+        std::fprintf(stderr, "cached answer diverges on \"%s\"\n",
+                     base.ToString(schema).c_str());
+        return 1;
+      }
+    }
+    for (const PreferenceProfile& refined : refinements) {
+      std::vector<RowId> fresh = Served(*cold_engine, refined, nullptr);
+      std::vector<RowId> subsumed = Served(*check, refined, &verdict);
+      RequireVerdict(verdict, CacheVerdict::kSubsumed, "check");
+      if (subsumed != fresh) {
+        std::fprintf(stderr, "subsumed answer diverges on \"%s\"\n",
+                     refined.ToString(schema).c_str());
+        return 1;
+      }
+    }
+  }
+
+  // ---- cold ----------------------------------------------------------
+  size_t cold_queries = 0;
+  WallTimer cold_timer;
+  for (size_t round = 0; round < kQueries; ++round) {
+    for (const PreferenceProfile& base : bases) {
+      CacheVerdict verdict = CacheVerdict::kHit;
+      Served(*cold_engine, base, &verdict);
+      RequireVerdict(verdict, CacheVerdict::kMiss, "cold");
+      ++cold_queries;
+    }
+  }
+  for (const PreferenceProfile& refined : refinements) {
+    CacheVerdict verdict = CacheVerdict::kHit;
+    Served(*cold_engine, refined, &verdict);
+    RequireVerdict(verdict, CacheVerdict::kMiss, "cold");
+    ++cold_queries;
+  }
+  const double cold_avg = cold_timer.ElapsedSeconds() / cold_queries;
+
+  // ---- exact-hit / subsumed-hit (one armed engine, primed once) ------
+  auto timed = MakeEngine(data, tmpl, &pool, /*cache_capacity=*/1024);
+  for (const PreferenceProfile& base : bases) {
+    CacheVerdict verdict = CacheVerdict::kHit;
+    Served(*timed, base, &verdict);
+    RequireVerdict(verdict, CacheVerdict::kMiss, "prime");
+  }
+
+  const size_t exact_rounds = 25 * kQueries;
+  size_t exact_queries = 0;
+  WallTimer exact_timer;
+  for (size_t round = 0; round < exact_rounds; ++round) {
+    for (const PreferenceProfile& base : bases) {
+      CacheVerdict verdict = CacheVerdict::kMiss;
+      Served(*timed, base, &verdict);
+      RequireVerdict(verdict, CacheVerdict::kHit, "exact-hit");
+      ++exact_queries;
+    }
+  }
+  const double exact_avg = exact_timer.ElapsedSeconds() / exact_queries;
+
+  WallTimer subsumed_timer;
+  for (const PreferenceProfile& refined : refinements) {
+    CacheVerdict verdict = CacheVerdict::kMiss;
+    Served(*timed, refined, &verdict);
+    RequireVerdict(verdict, CacheVerdict::kSubsumed, "subsumed-hit");
+  }
+  const double subsumed_avg =
+      subsumed_timer.ElapsedSeconds() / refinements.size();
+
+  // ---- planner-adapted ----------------------------------------------
+  // The feedback loop on: warm the per-route EWMAs on the rotation, then
+  // time the measured-policy regime. Routes may emit different orders, so
+  // equivalence here is the answer SET.
+  EngineOptions auto_options;
+  auto_options.pool = &pool;
+  auto_options.adaptive_routing = true;
+  AutoEngine adapted(data, tmpl, auto_options);
+  const size_t warmup_rounds = 3 * RouteLatencyTable::kWarmupSamples + 2;
+  for (size_t round = 0; round < warmup_rounds; ++round) {
+    for (const PreferenceProfile& base : bases) {
+      if (!adapted.Query(base).ok()) return 1;
+    }
+  }
+  size_t adapted_queries = 0;
+  size_t measured_verdicts = 0;
+  WallTimer adapted_timer;
+  for (size_t round = 0; round < kQueries; ++round) {
+    for (const PreferenceProfile& base : bases) {
+      PlanDecision decision;
+      auto rows = adapted.QueryExplained(base, &decision);
+      if (!rows.ok()) return 1;
+      if (decision.policy == "measured") ++measured_verdicts;
+      ++adapted_queries;
+    }
+  }
+  const double adapted_avg = adapted_timer.ElapsedSeconds() / adapted_queries;
+  for (const PreferenceProfile& base : bases) {
+    auto rows = adapted.Query(base);
+    if (!rows.ok() ||
+        SortedCopy(*rows) !=
+            SortedCopy(Served(*cold_engine, base, nullptr))) {
+      std::fprintf(stderr, "adaptive answer diverges on \"%s\"\n",
+                   base.ToString(schema).c_str());
+      return 1;
+    }
+  }
+
+  const ResultCache::Stats stats = timed->result_cache()->stats();
+  std::printf(
+      "result cache over sharded:sfsd, %zu rows, %zu shards:\n"
+      "  cold        %9.3f ms/query (%zu queries)\n"
+      "  exact-hit   %9.3f ms/query (%zu queries, %.1fx vs cold)\n"
+      "  subsumed    %9.3f ms/query (%zu queries, %.1fx vs cold)\n"
+      "  adapted     %9.3f ms/query (%zu queries, %zu measured-policy)\n",
+      data.num_rows(), kShards, 1e3 * cold_avg, cold_queries,
+      1e3 * exact_avg, exact_queries, cold_avg / exact_avg,
+      1e3 * subsumed_avg, refinements.size(), cold_avg / subsumed_avg,
+      1e3 * adapted_avg, adapted_queries, measured_verdicts);
+
+  bench::PointMetrics point;
+  point.label = "rotation";
+  point.dataset_seed = kDatasetSeed;
+  bench::EngineMetrics cold_metrics;
+  cold_metrics.name = "cold";
+  cold_metrics.avg_query_s = cold_avg;
+  point.engines.push_back(cold_metrics);
+  bench::EngineMetrics exact_metrics;
+  exact_metrics.name = "exact-hit";
+  exact_metrics.avg_query_s = exact_avg;
+  exact_metrics.extras = {
+      {"exact_hits", static_cast<double>(stats.exact_hits)},
+      {"subsumed_hits", static_cast<double>(stats.subsumed_hits)},
+      {"misses", static_cast<double>(stats.misses)},
+      {"insertions", static_cast<double>(stats.insertions)},
+      {"evictions", static_cast<double>(stats.evictions)},
+  };
+  point.engines.push_back(exact_metrics);
+  bench::EngineMetrics subsumed_metrics;
+  subsumed_metrics.name = "subsumed-hit";
+  subsumed_metrics.avg_query_s = subsumed_avg;
+  point.engines.push_back(subsumed_metrics);
+  bench::EngineMetrics adapted_metrics;
+  adapted_metrics.name = "planner-adapted";
+  adapted_metrics.avg_query_s = adapted_avg;
+  point.engines.push_back(adapted_metrics);
+  bench::PrintFigure(
+      "Result cache: cold fan-out vs cached answers, sharded:sfsd, " +
+          std::to_string(data.num_rows()) + " rows",
+      {point});
+  return 0;
+}

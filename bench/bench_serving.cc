@@ -144,6 +144,11 @@ int main() {
   const double bootstrap_wall = bootstrap_timer.ElapsedSeconds();
 
   serve::ServingExecutor::Options serve_options;
+  // Result cache OFF: the text rotation repeats, so an armed cache would
+  // answer almost every request locally and this bench would stop
+  // measuring the wire path it exists to probe (bench_result_cache owns
+  // the cached-path numbers).
+  serve_options.result_cache_capacity = 0;
   auto executor = serve::ServingExecutor::Connect(endpoints, serve_options);
   if (!executor.ok()) {
     std::fprintf(stderr, "connect: %s\n",
@@ -225,6 +230,17 @@ int main() {
     p50_metrics.threads = clients;
     p50_metrics.avg_query_s = p50;
     p50_metrics.preprocess_s = bootstrap_wall;
+    // Cache efficacy travels with the figures: the cumulative front-end
+    // parsed-query-cache counters as of this sweep point.
+    const serve::ParsedQueryCache::CounterSnapshot cache_snapshot =
+        (*executor)->cache().Snapshot();
+    p50_metrics.extras = {
+        {"parsed_cache_hits", static_cast<double>(cache_snapshot.hits)},
+        {"parsed_cache_misses", static_cast<double>(cache_snapshot.misses)},
+        {"parsed_cache_evictions",
+         static_cast<double>(cache_snapshot.evictions)},
+        {"parsed_cache_size", static_cast<double>(cache_snapshot.size)},
+    };
     point.engines.push_back(p50_metrics);
     bench::EngineMetrics p99_metrics;
     p99_metrics.name = "serve-p99";  // "p99" arms the gate's tail budget

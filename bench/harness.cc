@@ -256,9 +256,20 @@ void MaybeWriteJson(const std::string& title,
         JsonEscaped(f, e.name);
         std::fprintf(f,
                      "\", \"preprocess_s\": %.9g, \"avg_query_s\": %.9g, "
-                     "\"storage_bytes\": %zu, \"threads\": %zu}%s",
+                     "\"storage_bytes\": %zu, \"threads\": %zu",
                      e.preprocess_s, e.avg_query_s, e.storage_bytes,
-                     e.threads, ei + 1 < p.engines.size() ? ", " : "");
+                     e.threads);
+        if (!e.extras.empty()) {
+          std::fprintf(f, ", \"extras\": {");
+          for (size_t xi = 0; xi < e.extras.size(); ++xi) {
+            std::fprintf(f, "\"");
+            JsonEscaped(f, e.extras[xi].first);
+            std::fprintf(f, "\": %.9g%s", e.extras[xi].second,
+                         xi + 1 < e.extras.size() ? ", " : "");
+          }
+          std::fprintf(f, "}");
+        }
+        std::fprintf(f, "}%s", ei + 1 < p.engines.size() ? ", " : "");
       }
       std::fprintf(f, "]}%s\n", pi + 1 < fig.points.size() ? "," : "");
     }

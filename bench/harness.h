@@ -22,6 +22,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/dataset.h"
@@ -53,6 +54,10 @@ struct EngineMetrics {
   double avg_query_s = 0.0;
   size_t storage_bytes = 0;
   size_t threads = 1;  ///< query-time worker threads the numbers used
+  /// Bench-specific observables (e.g. cache hit/miss/eviction counters),
+  /// recorded into the JSON trace as an "extras" object but never gated by
+  /// the regression checker — efficacy tracking, not a budget.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// \brief All measurements at one sweep point.

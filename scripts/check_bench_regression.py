@@ -35,6 +35,11 @@ does not exist at all (e.g. the first run on a new branch) — is reported
 as "warning: ... skipping" and the run exits 0. Committing the fresh
 results as the new baseline arms the gate for the next run.
 
+A PRESENT baseline whose entries match nothing in the fresh run is an
+error, not a skip: that shape means a rename or re-keying silently
+disarmed the gate, so the checker exits 1 and prints the engine names on
+both sides.
+
 Usage:
   scripts/check_bench_regression.py --baseline bench_results --fresh out \
       [--tolerance 0.25] [--min-seconds 0.001]
@@ -129,9 +134,24 @@ def main():
             continue
 
         base_means = index_means(base_figs)
+        fresh_means = index_means(fresh_figs)
+        # A baseline that matches NOTHING in the fresh run gates nothing —
+        # usually a renamed engine or re-keyed figure. Silently passing here
+        # would disarm the gate forever, so fail loudly with both name sets.
+        if (base_means and fresh_means
+                and not set(base_means) & set(fresh_means)):
+            base_names = sorted({k[2] for k in base_means})
+            fresh_names = sorted({k[2] for k in fresh_means})
+            print(f"error: {fresh_path.name}: baseline has entries but NONE "
+                  "match the fresh run (renamed engines or re-keyed "
+                  "figures?); re-baseline or fix the bench.\n"
+                  f"  baseline engines: {', '.join(base_names)}\n"
+                  f"  fresh engines:    {', '.join(fresh_names)}",
+                  file=sys.stderr)
+            return 1
         warned_tiers = set()
         for key, (fresh_mean, fresh_scale, fresh_tier) in \
-                sorted(index_means(fresh_figs).items()):
+                sorted(fresh_means.items()):
             if key not in base_means:
                 continue
             base_mean, base_scale, base_tier = base_means[key]

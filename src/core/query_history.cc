@@ -15,6 +15,7 @@ QueryHistory::QueryHistory(const Schema& schema, size_t window)
 }
 
 void QueryHistory::Record(const PreferenceProfile& query) {
+  std::lock_guard<std::mutex> lock(mutex_);
   NOMSKY_CHECK(query.num_nominal() == counts_.size())
       << "query arity does not match the tracked schema";
   std::vector<std::vector<ValueId>> entry(counts_.size());
@@ -34,6 +35,12 @@ void QueryHistory::Record(const PreferenceProfile& query) {
 
 std::vector<ValueId> QueryHistory::TopValues(size_t nominal_idx,
                                              size_t k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return TopValuesLocked(nominal_idx, k);
+}
+
+std::vector<ValueId> QueryHistory::TopValuesLocked(size_t nominal_idx,
+                                                   size_t k) const {
   const auto& counts = counts_[nominal_idx];
   std::vector<ValueId> values;
   for (ValueId v = 0; v < counts.size(); ++v) {
@@ -49,8 +56,9 @@ std::vector<ValueId> QueryHistory::TopValues(size_t nominal_idx,
 
 std::vector<std::vector<ValueId>> QueryHistory::MaterializationPlan(
     size_t k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::vector<ValueId>> plan(counts_.size());
-  for (size_t j = 0; j < counts_.size(); ++j) plan[j] = TopValues(j, k);
+  for (size_t j = 0; j < counts_.size(); ++j) plan[j] = TopValuesLocked(j, k);
   return plan;
 }
 
@@ -72,6 +80,7 @@ bool ChoicesCovered(const std::vector<std::vector<ValueId>>& plan,
 
 double QueryHistory::CoverageOf(
     const std::vector<std::vector<ValueId>>& plan) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (log_.empty()) return 0.0;
   size_t covered = 0;
   for (const auto& entry : log_) {

@@ -13,6 +13,7 @@
 #define NOMSKY_CORE_QUERY_HISTORY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/schema.h"
@@ -21,6 +22,10 @@
 namespace nomsky {
 
 /// \brief Sliding popularity statistics over issued implicit preferences.
+///
+/// Internally synchronized: batch executors record from worker threads
+/// while the planner and the result cache's eviction policy read
+/// popularity concurrently, so every member takes the instance mutex.
 class QueryHistory {
  public:
   /// Tracks the nominal dimensions of `schema`. `window` bounds the number
@@ -30,11 +35,15 @@ class QueryHistory {
   /// \brief Records one issued query.
   void Record(const PreferenceProfile& query);
 
-  size_t num_recorded() const { return recorded_; }
+  size_t num_recorded() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+  }
 
   /// \brief How often value `v` of nominal dimension `j` appeared in a
   /// recorded choice list (within the window).
   size_t ValueCount(size_t nominal_idx, ValueId v) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counts_[nominal_idx][v];
   }
 
@@ -55,6 +64,11 @@ class QueryHistory {
   double CoverageOf(const std::vector<std::vector<ValueId>>& plan) const;
 
  private:
+  // Unlocked bodies, shared by the public members (MaterializationPlan
+  // builds on TopValues without re-entering the mutex).
+  std::vector<ValueId> TopValuesLocked(size_t nominal_idx, size_t k) const;
+
+  mutable std::mutex mutex_;
   size_t window_;
   size_t recorded_ = 0;
   std::vector<std::vector<size_t>> counts_;            // [dim][value]

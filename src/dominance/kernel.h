@@ -122,6 +122,14 @@ class CompiledProfile {
     return ranks_[rank_offset_[j] + v];
   }
 
+  /// \brief Values in the j-th nominal dimension's dictionary (the rank
+  /// array covers every ValueId, listed or not).
+  size_t cardinality(size_t j) const {
+    const size_t end =
+        j + 1 < num_nominal_ ? rank_offset_[j + 1] : ranks_.size();
+    return end - rank_offset_[j];
+  }
+
   double numeric_sign(size_t i) const { return sign_[i]; }
 
   /// \brief Packs row `r` of `data` into dest[0, row_slots()): sign-folded
@@ -310,6 +318,9 @@ class CompiledGeneralProfile {
   uint8_t relation(size_t j, uint64_t a, uint64_t b) const {
     return rel_[rel_offset_[j] + a * cardinality_[j] + b];
   }
+
+  /// \brief Values in the j-th nominal dimension's dictionary.
+  size_t cardinality(size_t j) const { return cardinality_[j]; }
 
   /// \brief SIMD lane role masks for the numeric section (the nominal
   /// section is scalar here, so there are no nominal masks).

@@ -72,6 +72,18 @@ struct EngineOptions {
   /// Observed workload, if any: "auto" plans with it and hybrid/ipo
   /// materialize its popular values instead of the data-frequency top-k.
   const QueryHistory* history = nullptr;
+  /// Profile-subsumption result-cache entries on the sharded engine's
+  /// serving path (exec/result_cache.h); 0 disables the cache. Ignored by
+  /// engines without a serving tier.
+  size_t result_cache_capacity = 0;
+  /// AutoEngine dispatch: route by measured per-route EWMA latencies
+  /// (with a warmup seeded by the static cost model) rather than by the
+  /// static estimates alone. OFF by default: feedback routing makes the
+  /// route — and therefore the answer's emission ORDER — depend on what
+  /// ran before, so concurrent batches are no longer byte-reproducible;
+  /// surfaces that want the loop (the CLI, bench_result_cache) arm it
+  /// explicitly.
+  bool adaptive_routing = false;
 };
 
 /// \brief Maps the shared options onto IPO-tree construction options — the

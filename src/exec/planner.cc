@@ -1,7 +1,11 @@
 #include "exec/planner.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
+#include <limits>
+
+#include "common/timer.h"
 
 #include "exec/sharded_engine.h"
 #include "skyline/estimator.h"
@@ -40,7 +44,55 @@ std::string FormatFraction(double value) {
   return buf;
 }
 
+std::string FormatMillis(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+
+constexpr const char* kRouteNames[RouteLatencyTable::kNumRoutes] = {
+    "hybrid", "asfs", "sfsd", "sharded"};
+
 }  // namespace
+
+int RouteLatencyTable::RouteIndex(const std::string& engine) {
+  for (size_t r = 0; r < kNumRoutes; ++r) {
+    if (engine == kRouteNames[r]) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+const char* RouteLatencyTable::RouteName(size_t route) {
+  return kRouteNames[route];
+}
+
+void RouteLatencyTable::Record(bool tree_covered, size_t route,
+                               double seconds) {
+  Cell& cell = cells_[tree_covered ? 1 : 0][route];
+  cell.samples.fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = cell.ewma_bits.load(std::memory_order_relaxed);
+  while (true) {
+    // bits == 0 doubles as "no sample yet" (+0.0 is unobservable as a real
+    // latency), so the first sample seeds the average directly.
+    const double prev = std::bit_cast<double>(cur);
+    const double next = cur == 0 ? seconds : prev + kAlpha * (seconds - prev);
+    if (cell.ewma_bits.compare_exchange_weak(cur, std::bit_cast<uint64_t>(next),
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double RouteLatencyTable::MeanSeconds(bool tree_covered, size_t route) const {
+  const uint64_t bits = cells_[tree_covered ? 1 : 0][route].ewma_bits.load(
+      std::memory_order_relaxed);
+  return std::bit_cast<double>(bits);
+}
+
+uint64_t RouteLatencyTable::Samples(bool tree_covered, size_t route) const {
+  return cells_[tree_covered ? 1 : 0][route].samples.load(
+      std::memory_order_relaxed);
+}
 
 QueryPlanner::QueryPlanner(const Dataset& data, const PreferenceProfile& tmpl,
                            Options options)
@@ -52,6 +104,24 @@ QueryPlanner::QueryPlanner(const Dataset& data, const PreferenceProfile& tmpl,
   }
 }
 
+bool QueryPlanner::TreeCovered(const PreferenceProfile& effective) const {
+  // Mirror of the tree's own support test: dimensions the query leaves at
+  // the template's preference follow the φ path and need no materialized
+  // values, and template choices are always materialized — only the
+  // refinements beyond that must fall inside the popular lists.
+  for (size_t j = 0; j < effective.num_nominal(); ++j) {
+    if (effective.pref(j) == template_->pref(j)) continue;
+    for (ValueId v : effective.pref(j).choices()) {
+      if (!std::binary_search(popular_plan_[j].begin(),
+                              popular_plan_[j].end(), v) &&
+          !template_->pref(j).ContainsValue(v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 PlanDecision QueryPlanner::Choose(const PreferenceProfile& query) const {
   Result<PreferenceProfile> combined = query.CombineWithTemplate(*template_);
   if (!combined.ok()) {
@@ -61,26 +131,12 @@ PlanDecision QueryPlanner::Choose(const PreferenceProfile& query) const {
   }
   const PreferenceProfile& effective = *combined;
 
-  // Mirror of the tree's own support test: dimensions the query leaves at
-  // the template's preference follow the φ path and need no materialized
-  // values, and template choices are always materialized — only the
-  // refinements beyond that must fall inside the popular lists.
-  bool tree_covered = true;
-  for (size_t j = 0; j < effective.num_nominal() && tree_covered; ++j) {
-    if (effective.pref(j) == template_->pref(j)) continue;
-    for (ValueId v : effective.pref(j).choices()) {
-      if (!std::binary_search(popular_plan_[j].begin(),
-                              popular_plan_[j].end(), v) &&
-          !template_->pref(j).ContainsValue(v)) {
-        tree_covered = false;
-        break;
-      }
-    }
-  }
-  if (tree_covered) {
-    return PlanDecision{
+  if (TreeCovered(effective)) {
+    PlanDecision plan{
         "hybrid", "all refined choices are materialized-popular values; "
                   "expecting an IPO-tree hit (O(x^m') set operations)"};
+    plan.tree_covered = true;
+    return plan;
   }
 
   const double est = AnalyticIndependentEstimate(data_->num_rows(),
@@ -111,6 +167,78 @@ PlanDecision QueryPlanner::Choose(const PreferenceProfile& query) const {
                   " of the data; adaptive re-rank of the affected list wins"};
 }
 
+PlanDecision QueryPlanner::ChooseAdaptive(
+    const PreferenceProfile& query, const RouteLatencyTable& latencies) const {
+  PlanDecision plan = Choose(query);
+  Result<PreferenceProfile> combined = query.CombineWithTemplate(*template_);
+  if (!combined.ok()) return plan;  // error route; nothing to measure
+  const bool covered = plan.tree_covered;
+
+  // The routes the static router could reach for this data: hybrid / asfs /
+  // sfsd always, sharded only when the fan-out engine exists and the data
+  // is large enough to amortize it.
+  bool eligible[RouteLatencyTable::kNumRoutes];
+  for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) eligible[r] = true;
+  eligible[RouteLatencyTable::RouteIndex("sharded")] =
+      options_.data_shards > 1 &&
+      data_->num_rows() >= options_.sharded_min_rows;
+
+  uint64_t min_samples = std::numeric_limits<uint64_t>::max();
+  for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) {
+    if (eligible[r]) {
+      min_samples = std::min(min_samples, latencies.Samples(covered, r));
+    }
+  }
+  if (min_samples < RouteLatencyTable::kWarmupSamples) {
+    // Warmup: equalize samples across eligible routes so every EWMA is
+    // seeded before measurements take over. Among the least-sampled routes
+    // the static verdict wins ties — the cost model is still the best
+    // prior when nothing is measured.
+    size_t pick = RouteLatencyTable::kNumRoutes;
+    const int preferred = RouteLatencyTable::RouteIndex(plan.engine);
+    if (preferred >= 0 && eligible[preferred] &&
+        latencies.Samples(covered, preferred) == min_samples) {
+      pick = static_cast<size_t>(preferred);
+    } else {
+      for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) {
+        if (eligible[r] && latencies.Samples(covered, r) == min_samples) {
+          pick = r;
+          break;
+        }
+      }
+    }
+    plan.engine = RouteLatencyTable::RouteName(pick);
+    plan.policy = "warmup";
+    plan.reason = "adaptive warmup: sampling " + plan.engine + " (" +
+                  std::to_string(latencies.Samples(covered, pick)) + "/" +
+                  std::to_string(RouteLatencyTable::kWarmupSamples) +
+                  " samples, context " +
+                  (covered ? "tree-covered" : "uncovered") + ")";
+    return plan;
+  }
+
+  // Measured: lowest EWMA among the eligible routes wins outright.
+  size_t best = RouteLatencyTable::kNumRoutes;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  std::string observed;
+  for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) {
+    if (!eligible[r]) continue;
+    const double mean = latencies.MeanSeconds(covered, r);
+    if (!observed.empty()) observed += " ";
+    observed += std::string(RouteLatencyTable::RouteName(r)) + "=" +
+                FormatMillis(mean);
+    if (mean < best_seconds) {
+      best_seconds = mean;
+      best = r;
+    }
+  }
+  plan.engine = RouteLatencyTable::RouteName(best);
+  plan.policy = "measured";
+  plan.reason = "measured EWMA favors " + plan.engine + " (" + observed +
+                ", context " + (covered ? "tree-covered" : "uncovered") + ")";
+  return plan;
+}
+
 QueryPlanner::Options AutoEngine::PlannerOptions(
     const EngineOptions& options) {
   QueryPlanner::Options popts;
@@ -127,7 +255,8 @@ AutoEngine::AutoEngine(const Dataset& data, const PreferenceProfile& tmpl,
               TreeOptionsFrom(options, /*truncate=*/true)),
       sfsd_(data, tmpl, options.pool,
             options.query_shards == 0 ? 1 : options.query_shards),
-      planner_(data, tmpl, PlannerOptions(options)) {
+      planner_(data, tmpl, PlannerOptions(options)),
+      adaptive_(options.adaptive_routing) {
   if (options.data_shards > 1) {
     // The planner only emits "sharded" under the same condition, so a
     // failure here (bad shard count is the only way) must not be silent.
@@ -146,22 +275,38 @@ Result<std::vector<RowId>> AutoEngine::Query(
 
 Result<std::vector<RowId>> AutoEngine::QueryExplained(
     const PreferenceProfile& query, PlanDecision* decision) const {
-  PlanDecision plan = planner_.Choose(query);
+  PlanDecision plan = adaptive_ ? planner_.ChooseAdaptive(query, latencies_)
+                                : planner_.Choose(query);
   if (decision != nullptr) *decision = plan;
-  if (plan.engine == "hybrid") {
-    hybrid_hits_.fetch_add(1, std::memory_order_relaxed);
-    return hybrid_.Query(query);
+  // The route actually run (the static router can say "sharded" on a
+  // planner built without the fan-out engine; that dispatches to sfsd).
+  std::string actual = plan.engine;
+  if (actual == "sharded" && sharded_ == nullptr) actual = "sfsd";
+  const WallTimer timer;
+  Result<std::vector<RowId>> rows = [&]() -> Result<std::vector<RowId>> {
+    if (actual == "hybrid") {
+      hybrid_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hybrid_.Query(query);
+    }
+    if (actual == "asfs") {
+      asfs_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hybrid_.adaptive_sfs().Query(query);
+    }
+    if (actual == "sharded") {
+      sharded_hits_.fetch_add(1, std::memory_order_relaxed);
+      return sharded_->Query(query);
+    }
+    sfsd_hits_.fetch_add(1, std::memory_order_relaxed);
+    return sfsd_.Query(query);
+  }();
+  // Feed the loop: answered queries only (failures are fast-fail parse or
+  // conflict errors; their timings would poison the route averages).
+  const int route = RouteLatencyTable::RouteIndex(actual);
+  if (rows.ok() && route >= 0) {
+    latencies_.Record(plan.tree_covered, static_cast<size_t>(route),
+                      timer.ElapsedSeconds());
   }
-  if (plan.engine == "asfs") {
-    asfs_hits_.fetch_add(1, std::memory_order_relaxed);
-    return hybrid_.adaptive_sfs().Query(query);
-  }
-  if (plan.engine == "sharded" && sharded_ != nullptr) {
-    sharded_hits_.fetch_add(1, std::memory_order_relaxed);
-    return sharded_->Query(query);
-  }
-  sfsd_hits_.fetch_add(1, std::memory_order_relaxed);
-  return sfsd_.Query(query);
+  return rows;
 }
 
 }  // namespace nomsky

@@ -20,6 +20,16 @@
 // is just another registry name. The per-query decisions stay observable:
 // QueryExplained returns the routing verdict, and dispatch_counts()
 // aggregates them for a stats line.
+//
+// The estimates above are priors, not measurements — a mispredicted
+// cardinality or a cache-cold shard can make the "cheap" route the slow
+// one. AutoEngine therefore times every answered query and feeds the
+// result into a RouteLatencyTable (per-route EWMAs, split by whether the
+// query was tree-covered); once each eligible route has a few samples,
+// ChooseAdaptive routes by OBSERVED cost and the static cost model only
+// breaks ties during warmup. PlanDecision::policy says which regime made
+// the call ("estimate" / "warmup" / "measured"), so --explain shows the
+// feedback loop working.
 
 #ifndef NOMSKY_EXEC_PLANNER_H_
 #define NOMSKY_EXEC_PLANNER_H_
@@ -43,6 +53,46 @@ struct PlanDecision {
   /// Dominance kernel tier the routed engine's comparisons dispatch to
   /// ("scalar" / "sse42" / "avx2"); resolved when the decision is made.
   std::string kernel_tier = KernelTierName(ActiveKernelTier());
+  /// Which regime produced the verdict: "estimate" (static cost model),
+  /// "warmup" (adaptive routing still collecting per-route samples) or
+  /// "measured" (lowest observed EWMA latency).
+  std::string policy = "estimate";
+  /// The latency table's context bit: were all refined choices
+  /// materialized-popular (the hybrid tree's cheap case)?
+  bool tree_covered = false;
+};
+
+/// \brief Measured per-route query latencies: one EWMA + sample count per
+/// (context, route) cell, where the context is the planner's tree-covered
+/// bit — covered and uncovered queries have wildly different costs on the
+/// hybrid route, so they must not share an average. Lock-free (CAS on the
+/// bit-cast EWMA), safe for concurrent Record/read from query threads.
+class RouteLatencyTable {
+ public:
+  static constexpr size_t kNumRoutes = 4;  // hybrid, asfs, sfsd, sharded
+  /// EWMA smoothing: next = prev + kAlpha * (sample - prev).
+  static constexpr double kAlpha = 0.2;
+  /// Samples every eligible (context, route) cell needs before the
+  /// measured policy takes over from warmup round-robin.
+  static constexpr uint64_t kWarmupSamples = 2;
+
+  /// \brief Route index for a registry engine name, or -1 when the name is
+  /// not a routable engine.
+  static int RouteIndex(const std::string& engine);
+  static const char* RouteName(size_t route);
+
+  void Record(bool tree_covered, size_t route, double seconds);
+
+  /// \brief Smoothed seconds for the cell; 0.0 before any sample.
+  double MeanSeconds(bool tree_covered, size_t route) const;
+  uint64_t Samples(bool tree_covered, size_t route) const;
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> ewma_bits{0};  // bit-cast double; 0 = no sample
+    std::atomic<uint64_t> samples{0};
+  };
+  Cell cells_[2][kNumRoutes];
 };
 
 /// \brief Stateless per-query router. Thread-safe: all state is fixed at
@@ -71,8 +121,16 @@ class QueryPlanner {
   QueryPlanner(const Dataset& data, const PreferenceProfile& tmpl,
                Options options);
 
-  /// \brief Routing verdict for one query.
+  /// \brief Routing verdict for one query (static cost model only).
   PlanDecision Choose(const PreferenceProfile& query) const;
+
+  /// \brief Latency-fed verdict: while any eligible route's cell is short
+  /// of RouteLatencyTable::kWarmupSamples the least-sampled route is
+  /// chosen (ties prefer the static verdict), after that the lowest
+  /// observed EWMA wins. Queries that conflict with the template fall back
+  /// to Choose()'s error route.
+  PlanDecision ChooseAdaptive(const PreferenceProfile& query,
+                              const RouteLatencyTable& latencies) const;
 
   /// \brief Per-dimension value lists assumed materialized (sorted).
   const std::vector<std::vector<ValueId>>& popular_plan() const {
@@ -80,6 +138,8 @@ class QueryPlanner {
   }
 
  private:
+  bool TreeCovered(const PreferenceProfile& effective) const;
+
   const Dataset* data_;
   const PreferenceProfile* template_;
   Options options_;
@@ -117,6 +177,13 @@ class AutoEngine : public SkylineEngine {
 
   const QueryPlanner& planner() const { return planner_; }
 
+  /// \brief Measured per-route latencies feeding ChooseAdaptive.
+  const RouteLatencyTable& route_latencies() const { return latencies_; }
+
+  /// \brief Whether dispatch runs on measured latencies (EngineOptions::
+  /// adaptive_routing) or pins the static cost model.
+  bool adaptive_routing() const { return adaptive_; }
+
   /// \brief Queries dispatched to each route so far.
   struct DispatchCounts {
     size_t hybrid = 0;
@@ -141,6 +208,8 @@ class AutoEngine : public SkylineEngine {
   SfsDirectEngine sfsd_;
   std::unique_ptr<SkylineEngine> sharded_;  // built iff data_shards > 1
   QueryPlanner planner_;
+  bool adaptive_;
+  mutable RouteLatencyTable latencies_;
   mutable std::atomic<size_t> hybrid_hits_{0};
   mutable std::atomic<size_t> asfs_hits_{0};
   mutable std::atomic<size_t> sfsd_hits_{0};

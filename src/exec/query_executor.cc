@@ -1,8 +1,10 @@
 #include "exec/query_executor.h"
 
-#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "common/timer.h"
+#include "dominance/kernel.h"
 
 namespace nomsky {
 
@@ -12,19 +14,52 @@ BatchResult QueryExecutor::RunBatch(
   BatchResult batch;
   batch.rows.resize(queries.size());
   batch.statuses.resize(queries.size());
+  batch.cache_verdicts.assign(queries.size(), CacheVerdict::kMiss);
 
-  std::mutex history_mutex;
+  // One neutral pack layout serves every insert of the batch.
+  std::optional<CompiledProfile> neutral;
+  if (cache_ != nullptr && source_ != nullptr) {
+    neutral.emplace(source_->schema(),
+                    PreferenceProfile(source_->schema()));
+  }
+
   WallTimer timer;
   ParallelFor(pool_, queries.size(), [&](size_t i) {
+    // Resolve the effective profile the engine will evaluate; that is the
+    // cache's key (two raw spellings with the same resolution share an
+    // entry, and subsumption is judged on what actually runs).
+    std::optional<PreferenceProfile> effective;
+    uint64_t generation = 0;
+    if (neutral.has_value()) {
+      Result<PreferenceProfile> combined =
+          template_ != nullptr ? queries[i].CombineWithTemplate(*template_)
+                               : Result<PreferenceProfile>(queries[i]);
+      if (combined.ok()) {
+        effective = std::move(combined).ValueOrDie();
+        generation = cache_->generation();
+        if (std::optional<ResultCache::Answer> answer =
+                cache_->Lookup(*effective)) {
+          batch.rows[i] = std::move(answer->rows);
+          batch.cache_verdicts[i] = answer->verdict;
+          if (history != nullptr) history->Record(queries[i]);
+          return;
+        }
+      }
+      // A combine failure falls through: the engine reports the same
+      // conflict as its own status.
+    }
+
     Result<std::vector<RowId>> result = engine_->Query(queries[i]);
     if (result.ok()) {
       batch.rows[i] = std::move(result).ValueOrDie();
+      if (effective.has_value()) {
+        PackedBlock winners;
+        winners.Pack(*neutral, *source_, batch.rows[i]);
+        cache_->Insert(*effective, generation, batch.rows[i], winners);
+      }
       // Only answered queries enter the popularity statistics — failed
       // ones must not steer future materialization plans.
-      if (history != nullptr) {
-        std::lock_guard<std::mutex> lock(history_mutex);
-        history->Record(queries[i]);
-      }
+      if (history != nullptr) history->Record(queries[i]);
     } else {
       batch.statuses[i] = result.status();
     }

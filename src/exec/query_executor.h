@@ -6,6 +6,15 @@
 // Query is const-thread-safe, so the executor needs no locking around the
 // engine itself. Results come back in input order; a failed query records
 // its status without aborting the rest of the batch.
+//
+// An armed ResultCache (set_result_cache) sits in front of the engine:
+// each query is resolved to its effective profile (template-combined, the
+// same resolution every engine performs internally), looked up, and only
+// misses reach the engine — whose answers are inserted back, neutral-packed
+// from the source table. Cache-served rows arrive in the canonical
+// (score, global id) merge order, which matches the sfsd/sharded engines'
+// fresh emission order exactly; engines with a different emission order
+// return the same SET of rows.
 
 #ifndef NOMSKY_EXEC_QUERY_EXECUTOR_H_
 #define NOMSKY_EXEC_QUERY_EXECUTOR_H_
@@ -15,6 +24,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/query_history.h"
+#include "exec/result_cache.h"
 #include "exec/thread_pool.h"
 #include "order/preference_profile.h"
 
@@ -24,6 +34,9 @@ namespace nomsky {
 struct BatchResult {
   std::vector<std::vector<RowId>> rows;  ///< rows[i] valid iff statuses[i] ok
   std::vector<Status> statuses;
+  /// How query i was answered: kHit/kSubsumed from the result cache,
+  /// kMiss through the engine (always kMiss when no cache is armed).
+  std::vector<CacheVerdict> cache_verdicts;
   double seconds = 0.0;  ///< wall time of the whole batch
   size_t failures = 0;
 
@@ -40,15 +53,32 @@ class QueryExecutor {
   QueryExecutor(const SkylineEngine& engine, ThreadPool* pool)
       : engine_(&engine), pool_(pool) {}
 
+  /// \brief Arms the result cache. `source` is the table the engine was
+  /// built over (winning rows are neutral-packed from it on insert) and
+  /// `tmpl` the engine's template — the executor combines each query with
+  /// it so cache keys match the effective profile the engine actually
+  /// evaluates (a null `tmpl` keys on the raw query; only sound when the
+  /// engine has no template resolution). All three must outlive the
+  /// executor; none is owned. Pass a null `cache` to disarm.
+  void set_result_cache(ResultCache* cache, const Dataset* source,
+                        const PreferenceProfile* tmpl) {
+    cache_ = cache;
+    source_ = source;
+    template_ = tmpl;
+  }
+
   /// \brief Runs every query, fanning out across the pool. When `history`
-  /// is non-null each query is recorded into it (serialized internally —
-  /// QueryHistory itself is not thread-safe).
+  /// is non-null each answered query is recorded into it (QueryHistory is
+  /// internally synchronized).
   BatchResult RunBatch(const std::vector<PreferenceProfile>& queries,
                        QueryHistory* history = nullptr) const;
 
  private:
   const SkylineEngine* engine_;
   ThreadPool* pool_;
+  ResultCache* cache_ = nullptr;        // null = no result caching
+  const Dataset* source_ = nullptr;     // required when cache_ is set
+  const PreferenceProfile* template_ = nullptr;
 };
 
 }  // namespace nomsky

@@ -61,6 +61,13 @@ ShardedEngine::ShardedEngine(Schema schema, ShardPolicy policy,
   // and must never themselves reach for the image file.
   inner_options_.data_shards = 0;
   inner_options_.shard_image_path.clear();
+  inner_options_.result_cache_capacity = 0;  // one cache, in front of fan-out
+  if (options.result_cache_capacity > 0) {
+    ResultCache::Options cache_options;
+    cache_options.capacity = options.result_cache_capacity;
+    cache_options.history = options.history;
+    cache_ = std::make_unique<ResultCache>(schema_, cache_options);
+  }
 }
 
 Status ShardedEngine::BuildSnapshot(ShardSnapshot* snap) const {
@@ -219,6 +226,13 @@ Status ShardedEngine::RebuildShard(size_t s, Dataset rows,
   snap->epoch = slots_[s].load()->epoch + 1;
   NOMSKY_RETURN_NOT_OK(BuildSnapshot(snap.get()));
   slots_[s].store(std::move(snap));
+  // Invalidate AFTER the store: any result computed against the retired
+  // snapshot read the cache generation before pinning it, i.e. before this
+  // bump, so its Insert is dropped — and any entry already cached came
+  // from a pin that also predates the bump, so the clear retires it. (An
+  // invalidate BEFORE the store would leave a window where a reader tags
+  // the new generation but still pins the old snapshot.)
+  if (cache_ != nullptr) cache_->Invalidate();
   return Status::OK();
 }
 
@@ -228,9 +242,25 @@ Result<std::vector<RowId>> ShardedEngine::Query(
 }
 
 Result<std::vector<RowId>> ShardedEngine::QueryServed(
-    const PreferenceProfile& query, PackedBlock* neutral_rows) const {
+    const PreferenceProfile& query, PackedBlock* neutral_rows,
+    CacheVerdict* cache_verdict) const {
+  if (cache_verdict != nullptr) *cache_verdict = CacheVerdict::kMiss;
   NOMSKY_ASSIGN_OR_RETURN(PreferenceProfile effective,
                           query.CombineWithTemplate(*template_));
+
+  // The cache is consulted (and its generation snapshotted) BEFORE any
+  // snapshot pin: a rebuild publishing between this read and the pins
+  // bumps the generation and the Insert below is dropped, so the cache can
+  // never serve rows from a snapshot retired before the query pinned it.
+  uint64_t cache_generation = 0;
+  if (cache_ != nullptr) {
+    cache_generation = cache_->generation();
+    if (std::optional<ResultCache::Answer> answer = cache_->Lookup(effective)) {
+      if (cache_verdict != nullptr) *cache_verdict = answer->verdict;
+      if (neutral_rows != nullptr) AnswerNeutralRows(*answer, neutral_rows);
+      return std::move(answer->rows);
+    }
+  }
 
   // Acquire every shard's snapshot ONCE up front: the query runs against a
   // consistent set of pinned snapshots even if a writer publishes new
@@ -271,11 +301,17 @@ Result<std::vector<RowId>> ShardedEngine::QueryServed(
   last_merge_candidates_.store(candidates, std::memory_order_relaxed);
   last_merge_survivors_.store(skyline.size(), std::memory_order_relaxed);
 
-  if (neutral_rows != nullptr) {
-    // Map the candidate global ids back to their (shard, local) source and
-    // copy the winners' neutral bytes from the SAME pinned snapshots the
-    // query ran on. Only candidates are indexed — the map is skyline-sized,
-    // not table-sized.
+  // The winners' neutral bytes are needed by the wire seam (neutral_rows)
+  // and by the cache insert; both copy from the SAME pinned snapshots the
+  // query ran on, so ids and bytes are epoch-consistent by construction.
+  PackedBlock cache_scratch;
+  PackedBlock* winners =
+      neutral_rows != nullptr ? neutral_rows
+                              : (cache_ != nullptr ? &cache_scratch : nullptr);
+  if (winners != nullptr) {
+    // Map the candidate global ids back to their (shard, local) source.
+    // Only candidates are indexed — the map is skyline-sized, not
+    // table-sized.
     std::unordered_map<RowId, std::pair<size_t, RowId>> where;
     where.reserve(candidates);
     for (size_t s = 0; s < k; ++s) {
@@ -284,11 +320,14 @@ Result<std::vector<RowId>> ShardedEngine::QueryServed(
       }
     }
     const CompiledProfile neutral(schema_, PreferenceProfile(schema_));
-    neutral_rows->Reset(neutral.row_slots());
+    winners->Reset(neutral.row_slots());
     for (RowId g : skyline) {
       const auto& [s, local] = where.at(g);
-      neutral_rows->AppendRaw(snaps[s]->packed.row(local), g);
+      winners->AppendRaw(snaps[s]->packed.row(local), g);
     }
+  }
+  if (cache_ != nullptr) {
+    cache_->Insert(effective, cache_generation, skyline, *winners);
   }
   return skyline;
 }

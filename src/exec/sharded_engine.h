@@ -47,6 +47,7 @@
 #include "core/engine.h"
 #include "dominance/kernel.h"
 #include "exec/engine_registry.h"
+#include "exec/result_cache.h"
 #include "exec/shard_image.h"
 #include "exec/sharded_dataset.h"
 
@@ -148,8 +149,16 @@ class ShardedEngine : public SkylineEngine {
   /// across servers (and print values) without any shared row store.
   /// Epoch-consistent with the ids — both come from the same pinned
   /// snapshots.
-  Result<std::vector<RowId>> QueryServed(const PreferenceProfile& query,
-                                         PackedBlock* neutral_rows) const;
+  ///
+  /// When EngineOptions::result_cache_capacity armed the result cache, the
+  /// fan-out is consulted-through it: exact profile repeats return the
+  /// cached block, refinements of a cached profile re-filter its rows
+  /// (exec/result_cache.h), and every RebuildShard invalidates. A non-null
+  /// `cache_verdict` reports how the answer was produced (kMiss when no
+  /// cache is armed).
+  Result<std::vector<RowId>> QueryServed(
+      const PreferenceProfile& query, PackedBlock* neutral_rows,
+      CacheVerdict* cache_verdict = nullptr) const;
 
   /// \brief Snapshot storage (rows, id maps, packed blocks) + every inner
   /// engine's materialized structures.
@@ -195,6 +204,9 @@ class ShardedEngine : public SkylineEngine {
     return last_merge_survivors_.load(std::memory_order_relaxed);
   }
 
+  /// \brief The armed result cache, or null (result_cache_capacity == 0).
+  const ResultCache* result_cache() const { return cache_.get(); }
+
  private:
   ShardedEngine(Schema schema, ShardPolicy policy, uint64_t source_rows,
                 const PreferenceProfile& tmpl, std::string inner_name,
@@ -217,6 +229,9 @@ class ShardedEngine : public SkylineEngine {
   /// One publication slot per shard; sized at construction, never resized
   /// (SnapshotSlot's mutex is immovable).
   std::vector<SnapshotSlot> slots_;
+  /// Armed iff EngineOptions::result_cache_capacity > 0; internally
+  /// synchronized (const Query paths mutate it through the pointer).
+  std::unique_ptr<ResultCache> cache_;
   std::mutex writer_mutex_;  // serializes RebuildShard publishers
   mutable std::atomic<size_t> last_merge_candidates_{0};
   mutable std::atomic<size_t> last_merge_survivors_{0};

@@ -82,6 +82,16 @@ size_t ParsedQueryCache::size() const {
   return entries_.size();
 }
 
+ParsedQueryCache::CounterSnapshot ParsedQueryCache::Snapshot() const {
+  CounterSnapshot snapshot;
+  snapshot.hits = hits_.load(std::memory_order_relaxed);
+  snapshot.misses = misses_.load(std::memory_order_relaxed);
+  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  snapshot.size = size();
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
 ParsedQueryCache::Stats ParsedQueryCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);

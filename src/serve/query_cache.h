@@ -51,6 +51,16 @@ class ParsedQueryCache {
     uint64_t evictions = 0;
   };
 
+  /// \brief One read of every observable, counters and occupancy together —
+  /// what bench_serving records into its JSON figures.
+  struct CounterSnapshot {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;      ///< live entries when the snapshot was taken
+    size_t capacity = 0;
+  };
+
   /// `schema` must outlive the cache. `capacity` bounds live entries
   /// (>= 1; 0 is clamped to 1 — a cache that can hold nothing would turn
   /// every hit path into a miss path with extra bookkeeping).
@@ -67,6 +77,7 @@ class ParsedQueryCache {
   size_t capacity() const { return capacity_; }
   size_t size() const;
   Stats stats() const;
+  CounterSnapshot Snapshot() const;
 
  private:
   struct Entry {

@@ -38,6 +38,11 @@ ServingExecutor::ServingExecutor(Schema schema, uint64_t source_rows,
   if (options_.max_inflight == 0) options_.max_inflight = 1;
   cache_ =
       std::make_unique<ParsedQueryCache>(schema_, options_.cache_capacity);
+  if (options_.result_cache_capacity > 0) {
+    ResultCache::Options cache_options;
+    cache_options.capacity = options_.result_cache_capacity;
+    result_cache_ = std::make_unique<ResultCache>(schema_, cache_options);
+  }
 }
 
 Result<std::unique_ptr<ServingExecutor>> ServingExecutor::Connect(
@@ -191,6 +196,32 @@ Result<ServeReply> ServingExecutor::Execute(const std::string& query_text) {
     NOMSKY_ASSIGN_OR_RETURN(std::shared_ptr<const PreferenceProfile> profile,
                             cache_->Get(canonical, &cache_hit));
 
+    // Result cache in front of the fan-out: a hit (exact or by
+    // subsumption refilter) answers with ZERO backend round-trips. The
+    // generation is read before any backend is called, so a refresh that
+    // lands mid-request invalidates the Insert below.
+    uint64_t result_generation = 0;
+    if (result_cache_ != nullptr) {
+      result_generation = result_cache_->generation();
+      if (std::optional<ResultCache::Answer> answer =
+              result_cache_->Lookup(*profile)) {
+        ServeReply out(schema_);
+        out.cache_hit = cache_hit;
+        out.result_verdict = answer->verdict;
+        if (answer->verdict == CacheVerdict::kHit) {
+          out.values = answer->entry->values;  // rows align 1:1
+        } else {
+          PackedBlock winners;
+          AnswerNeutralRows(*answer, &winners);
+          NOMSKY_ASSIGN_OR_RETURN(
+              out.values,
+              DatasetFromNeutralPacked(schema_, winners, "cached result"));
+        }
+        out.rows = std::move(answer->rows);
+        return out;
+      }
+    }
+
     const size_t n = backends_.size();
     struct BackendRows {
       PackedBlock block;            // neutral-packed winners, global ids
@@ -240,6 +271,10 @@ Result<ServeReply> ServingExecutor::Execute(const std::string& query_text) {
       // the result.
       out.rows = std::move(shard_rows[0].ids);
       out.values = std::move(*shard_rows[0].data);
+      if (result_cache_ != nullptr) {
+        result_cache_->Insert(*profile, result_generation, out.rows,
+                              shard_rows[0].block);
+      }
       return out;
     }
 
@@ -279,6 +314,9 @@ Result<ServeReply> ServingExecutor::Execute(const std::string& query_text) {
     NOMSKY_ASSIGN_OR_RETURN(
         out.values,
         DatasetFromNeutralPacked(schema_, winners, "merged query result"));
+    if (result_cache_ != nullptr) {
+      result_cache_->Insert(*profile, result_generation, out.rows, winners);
+    }
     return out;
   };
 
@@ -305,6 +343,10 @@ Status ServingExecutor::Refresh(size_t b, uint32_t shard,
                           Call(*backends_[b], FrameType::kRefresh,
                                std::move(out).str(), FrameType::kOk));
   (void)reply;
+  // Invalidate AFTER the backend acknowledged the swap: any cached entry —
+  // even one inserted from a query racing the refresh — predates this bump
+  // and dies; a later query re-fans-out and sees the new shard.
+  if (result_cache_ != nullptr) result_cache_->Invalidate();
   return Status::OK();
 }
 
@@ -317,6 +359,7 @@ Status ServingExecutor::PushImage(size_t b, const std::string& image_bytes) {
                           Call(*backends_[b], FrameType::kLoadShard,
                                image_bytes, FrameType::kOk));
   (void)reply;
+  if (result_cache_ != nullptr) result_cache_->Invalidate();
   return Status::OK();
 }
 
@@ -363,6 +406,14 @@ ServingExecutorStats ServingExecutor::stats() const {
   const ParsedQueryCache::Stats cache = cache_->stats();
   stats.cache_hits = cache.hits;
   stats.cache_misses = cache.misses;
+  if (result_cache_ != nullptr) {
+    const ResultCache::Stats rc = result_cache_->stats();
+    stats.result_exact_hits = rc.exact_hits;
+    stats.result_subsumed_hits = rc.subsumed_hits;
+    stats.result_misses = rc.misses;
+    stats.result_evictions = rc.evictions;
+    stats.result_invalidations = rc.invalidations;
+  }
   return stats;
 }
 

@@ -47,6 +47,7 @@
 #include "common/dataset.h"
 #include "common/result.h"
 #include "common/schema.h"
+#include "exec/result_cache.h"
 #include "exec/thread_pool.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -71,6 +72,10 @@ struct ServeReply {
   std::vector<RowId> rows;  ///< global ids, same order as `values` rows
   Dataset values;           ///< row i holds the values of rows[i]
   bool cache_hit = false;   ///< front-end parsed-query cache hit
+  /// Result-cache resolution: kHit / kSubsumed answered WITHOUT any
+  /// backend round-trip; kMiss ran the fan-out (also reported when the
+  /// result cache is disabled).
+  CacheVerdict result_verdict = CacheVerdict::kMiss;
 };
 
 /// \brief Front-end counters (shed/retried are the admission-control
@@ -82,6 +87,12 @@ struct ServingExecutorStats {
   uint64_t failures = 0;  ///< admitted calls that returned an error
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Result-cache counters (0 when the result cache is disabled).
+  uint64_t result_exact_hits = 0;
+  uint64_t result_subsumed_hits = 0;
+  uint64_t result_misses = 0;
+  uint64_t result_evictions = 0;
+  uint64_t result_invalidations = 0;
 };
 
 class ServingExecutor {
@@ -90,6 +101,10 @@ class ServingExecutor {
     size_t max_inflight = 64;    ///< concurrent Execute() bound (>= 1)
     int deadline_ms = 10'000;    ///< per-backend-read budget per request
     size_t cache_capacity = 256; ///< parsed-query cache bound
+    /// Result-cache entries in front of the fan-out (exec/result_cache.h):
+    /// exact profile repeats and refinements of cached profiles are
+    /// answered locally, with zero backend round-trips. 0 disables.
+    size_t result_cache_capacity = 128;
     uint32_t max_payload = net::kDefaultMaxPayload;
     ThreadPool* pool = nullptr;  ///< backend fan-out; null = sequential
   };
@@ -127,6 +142,8 @@ class ServingExecutor {
 
   ServingExecutorStats stats() const;
   const ParsedQueryCache& cache() const { return *cache_; }
+  /// \brief The fan-out-fronting result cache, or null when disabled.
+  const ResultCache* result_cache() const { return result_cache_.get(); }
 
  private:
   struct Backend {
@@ -149,6 +166,7 @@ class ServingExecutor {
   uint64_t source_rows_ = 0;
   Options options_;
   std::unique_ptr<ParsedQueryCache> cache_;
+  std::unique_ptr<ResultCache> result_cache_;  // null when disabled
   std::vector<std::unique_ptr<Backend>> backends_;
 
   std::atomic<size_t> inflight_{0};

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "datagen/generator.h"
 #include "exec/planner.h"
@@ -147,6 +148,128 @@ TEST(AutoEngineTest, EveryRouteReturnsTheCorrectSkyline) {
   }
   AutoEngine::DispatchCounts counts = engine.dispatch_counts();
   EXPECT_EQ(counts.hybrid + counts.asfs + counts.sfsd, answered);
+}
+
+TEST(RouteLatencyTableTest, EwmaTracksSamplesPerContextAndRoute) {
+  RouteLatencyTable table;
+  const int asfs = RouteLatencyTable::RouteIndex("asfs");
+  ASSERT_GE(asfs, 0);
+  EXPECT_EQ(table.MeanSeconds(false, asfs), 0.0);
+  EXPECT_EQ(table.Samples(false, asfs), 0u);
+
+  table.Record(false, asfs, 0.010);
+  EXPECT_DOUBLE_EQ(table.MeanSeconds(false, asfs), 0.010);  // seeded
+  table.Record(false, asfs, 0.020);
+  // next = prev + alpha * (sample - prev)
+  EXPECT_DOUBLE_EQ(table.MeanSeconds(false, asfs),
+                   0.010 + RouteLatencyTable::kAlpha * 0.010);
+  EXPECT_EQ(table.Samples(false, asfs), 2u);
+  // The other context's cell is untouched: covered and uncovered queries
+  // must not share an average.
+  EXPECT_EQ(table.Samples(true, asfs), 0u);
+  EXPECT_EQ(table.MeanSeconds(true, asfs), 0.0);
+}
+
+TEST(QueryPlannerTest, AdaptiveWarmsUpThenRoutesByMeasuredLatency) {
+  Dataset data = MakeData(29);
+  PreferenceProfile tmpl(data.schema());
+  QueryPlanner planner(data, tmpl, QueryPlanner::Options{});
+  Rng rng(30);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+
+  // Warmup: while any eligible route is short of kWarmupSamples the
+  // planner samples the least-measured route; feeding each verdict back
+  // as a recorded latency drains the warmup in (routes * samples) steps.
+  RouteLatencyTable latencies;
+  PlanDecision decision = planner.ChooseAdaptive(query, latencies);
+  EXPECT_EQ(decision.policy, "warmup");
+  const bool covered = decision.tree_covered;
+  size_t warmup_steps = 0;
+  while (decision.policy == "warmup") {
+    const int route = RouteLatencyTable::RouteIndex(decision.engine);
+    ASSERT_GE(route, 0) << decision.engine;
+    latencies.Record(covered, static_cast<size_t>(route), 0.005);
+    decision = planner.ChooseAdaptive(query, latencies);
+    ASSERT_LE(++warmup_steps,
+              RouteLatencyTable::kNumRoutes * RouteLatencyTable::kWarmupSamples)
+        << "warmup never terminates";
+  }
+  // No sharded engine here (data_shards == 0), so warmup must have touched
+  // exactly the three always-eligible routes.
+  EXPECT_EQ(warmup_steps, 3 * RouteLatencyTable::kWarmupSamples);
+
+  // Measured: the route with the lowest observed EWMA wins outright, no
+  // matter what the static cost model prefers.
+  EXPECT_EQ(decision.policy, "measured");
+  for (const char* fastest : {"sfsd", "asfs", "hybrid"}) {
+    RouteLatencyTable measured;
+    for (const char* route : {"hybrid", "asfs", "sfsd"}) {
+      const double seconds =
+          std::string(route) == fastest ? 0.0001 : 0.050;
+      const size_t idx =
+          static_cast<size_t>(RouteLatencyTable::RouteIndex(route));
+      for (uint64_t i = 0; i < RouteLatencyTable::kWarmupSamples; ++i) {
+        measured.Record(covered, idx, seconds);
+      }
+    }
+    PlanDecision picked = planner.ChooseAdaptive(query, measured);
+    EXPECT_EQ(picked.policy, "measured");
+    EXPECT_EQ(picked.engine, fastest) << picked.reason;
+    EXPECT_FALSE(picked.reason.empty());
+  }
+}
+
+TEST(AutoEngineTest, AdaptiveRoutingConvergesToMeasuredAndStaysCorrect) {
+  Dataset data = MakeData(31);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  EngineOptions options;
+  options.topk = 2;
+  options.adaptive_routing = true;
+  AutoEngine engine(data, tmpl, options);
+  EXPECT_TRUE(engine.adaptive_routing());
+
+  Rng rng(32);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  auto combined = query.CombineWithTemplate(tmpl).ValueOrDie();
+  DominanceComparator cmp(data, combined);
+  std::vector<RowId> truth = NaiveSkyline(cmp, AllRows(data.num_rows()));
+  std::sort(truth.begin(), truth.end());
+
+  // Repeating one query saturates its (context, route) cells: the policy
+  // moves from warmup to measured, and every answer along the way is the
+  // exact skyline regardless of which route the loop tried.
+  PlanDecision decision;
+  const size_t repeats =
+      3 * RouteLatencyTable::kWarmupSamples + 2;  // past any warmup
+  for (size_t i = 0; i < repeats; ++i) {
+    auto rows = engine.QueryExplained(query, &decision);
+    ASSERT_TRUE(rows.ok()) << decision.engine;
+    EXPECT_TRUE(decision.policy == "warmup" || decision.policy == "measured")
+        << decision.policy;
+    std::sort(rows->begin(), rows->end());
+    EXPECT_EQ(*rows, truth) << "routed to " << decision.engine << " ("
+                            << decision.policy << ")";
+  }
+  EXPECT_EQ(decision.policy, "measured") << decision.reason;
+  // The loop's measurements are visible to observability surfaces.
+  const RouteLatencyTable& table = engine.route_latencies();
+  uint64_t samples = 0;
+  for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) {
+    samples += table.Samples(decision.tree_covered, r);
+  }
+  EXPECT_GE(samples, 3 * RouteLatencyTable::kWarmupSamples);
+}
+
+TEST(AutoEngineTest, StaticRoutingIsTheDefault) {
+  Dataset data = MakeData(33);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  AutoEngine engine(data, tmpl, EngineOptions());
+  EXPECT_FALSE(engine.adaptive_routing());
+  Rng rng(34);
+  PreferenceProfile query = gen::RandomImplicitQuery(data, tmpl, 2, &rng);
+  PlanDecision decision;
+  ASSERT_TRUE(engine.QueryExplained(query, &decision).ok());
+  EXPECT_EQ(decision.policy, "estimate");
 }
 
 TEST(AutoEngineTest, ReportsFootprintOfUnderlyingEngines) {

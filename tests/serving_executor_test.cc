@@ -131,7 +131,11 @@ TEST_F(ServingClusterTest, MergedAnswersAreByteIdenticalToLocalEngine) {
 }
 
 TEST_F(ServingClusterTest, FrontEndCacheHitIsObservablePerRequest) {
-  auto executor = Connect();
+  // Result cache OFF so the repeat reaches the backends — this test pins
+  // the PARSED-query cache observables on both ends of the wire.
+  ServingExecutor::Options options;
+  options.result_cache_capacity = 0;
+  auto executor = Connect(options);
   auto miss = executor->Execute("nom0: v2<*");
   ASSERT_TRUE(miss.ok());
   EXPECT_FALSE(miss->cache_hit);
@@ -149,6 +153,59 @@ TEST_F(ServingClusterTest, FrontEndCacheHitIsObservablePerRequest) {
     EXPECT_EQ(stats->cache_hits, 1u) << "backend " << b;
     EXPECT_EQ(stats->cache_misses, 1u) << "backend " << b;
   }
+}
+
+TEST_F(ServingClusterTest, ResultCacheAnswersRepeatsAndRefinementsLocally) {
+  auto executor = Connect();  // result cache armed by default
+  const std::string weaker = "nom0: v2<*";
+  auto cold = executor->Execute(weaker);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->result_verdict, CacheVerdict::kMiss);
+
+  // Exact repeat: answered from the cache, byte-identical, and the
+  // backends never hear about it.
+  auto hot = executor->Execute(weaker);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->result_verdict, CacheVerdict::kHit);
+  EXPECT_EQ(hot->rows, cold->rows);
+  ASSERT_EQ(hot->values.num_rows(), cold->values.num_rows());
+  for (size_t i = 0; i < hot->rows.size(); ++i) {
+    const RowValues got = hot->values.GetRow(static_cast<RowId>(i));
+    const RowValues want = cold->values.GetRow(static_cast<RowId>(i));
+    EXPECT_EQ(got.numeric, want.numeric) << "row " << i;
+    EXPECT_EQ(got.nominal, want.nominal) << "row " << i;
+  }
+
+  // "v2<v1<*" refines "v2<*": the cached skyline is a superset, so the
+  // answer comes from a local refilter — still zero round-trips — and is
+  // byte-identical to what the local reference engine computes fresh.
+  const std::string stronger = "nom0: v2<v1<*";
+  auto refined = executor->Execute(stronger);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->result_verdict, CacheVerdict::kSubsumed);
+  auto query = PreferenceProfile::ParseText(data_.schema(), stronger);
+  ASSERT_TRUE(query.ok());
+  auto expected = local_->Query(*query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(refined->rows, *expected);
+  ASSERT_EQ(refined->values.num_rows(), refined->rows.size());
+  for (size_t i = 0; i < refined->rows.size(); ++i) {
+    const RowValues got = refined->values.GetRow(static_cast<RowId>(i));
+    const RowValues want = data_.GetRow(refined->rows[i]);
+    EXPECT_EQ(got.numeric, want.numeric) << "row " << i;
+    EXPECT_EQ(got.nominal, want.nominal) << "row " << i;
+  }
+
+  // Only the cold query reached the backends.
+  for (size_t b = 0; b < executor->num_backends(); ++b) {
+    auto stats = executor->ServerStats(b);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->queries, 1u) << "backend " << b;
+  }
+  const ServingExecutorStats stats = executor->stats();
+  EXPECT_EQ(stats.result_exact_hits, 1u);
+  EXPECT_EQ(stats.result_subsumed_hits, 1u);
+  EXPECT_EQ(stats.result_misses, 1u);
 }
 
 TEST_F(ServingClusterTest, RefreshThroughTheFrontEndTracksLocalRebuild) {

@@ -4,6 +4,7 @@
 //   nomsky_cli --csv FILE --schema SPEC [--template PREFS]
 //              [--engine NAME|auto|sharded:NAME] [--threads N] [--shards K]
 //              [--batch FILE] [--explain] [--topk K] [--limit N]
+//              [--result-cache N] [--no-adaptive]
 //              [--save-shards FILE] [--load-shards FILE]
 //              [--split-shards PREFIX] [QUERY ...]
 //   nomsky_cli --load-shards FILE [--template PREFS] [QUERY ...]
@@ -68,6 +69,7 @@
 #include "exec/engine_registry.h"
 #include "exec/planner.h"
 #include "exec/query_executor.h"
+#include "exec/result_cache.h"
 #include "exec/shard_image.h"
 #include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
@@ -296,6 +298,7 @@ struct ConnectArgs {
   bool explain = false;
   size_t limit = 20;
   size_t cache_capacity = 256;
+  size_t result_cache_capacity = 128;
   std::string batch_path;
   std::vector<std::string> query_texts;
 };
@@ -435,6 +438,7 @@ int RunConnect(ConnectArgs args) {
   if (!args.query_texts.empty() || interactive) {
     serve::ServingExecutor::Options options;
     options.cache_capacity = args.cache_capacity;
+    options.result_cache_capacity = args.result_cache_capacity;
     auto connected = serve::ServingExecutor::Connect(endpoints, options);
     if (!connected.ok()) {
       std::fprintf(stderr, "connect: %s\n",
@@ -451,9 +455,13 @@ int RunConnect(ConnectArgs args) {
       WallTimer timer;
       auto reply = executor->Execute(text);
       if (args.explain) {
-        std::fprintf(stderr, "serve: %zu backend(s), query cache %s\n",
+        std::fprintf(stderr,
+                     "serve: %zu backend(s), query cache %s, result cache "
+                     "%s\n",
                      executor->num_backends(),
-                     reply.ok() && reply->cache_hit ? "hit" : "miss");
+                     reply.ok() && reply->cache_hit ? "hit" : "miss",
+                     reply.ok() ? CacheVerdictName(reply->result_verdict)
+                                : "miss");
       }
       if (!reply.ok()) {
         std::fprintf(stderr, "query: %s\n",
@@ -494,6 +502,17 @@ int RunConnect(ConnectArgs args) {
                  static_cast<unsigned long long>(cache.hits),
                  static_cast<unsigned long long>(cache.misses),
                  static_cast<unsigned long long>(cache.evictions));
+    if (executor->result_cache() != nullptr) {
+      std::fprintf(
+          stderr,
+          "result cache: %llu exact, %llu subsumed, %llu misses, "
+          "%llu evictions, %llu invalidations\n",
+          static_cast<unsigned long long>(stats.result_exact_hits),
+          static_cast<unsigned long long>(stats.result_subsumed_hits),
+          static_cast<unsigned long long>(stats.result_misses),
+          static_cast<unsigned long long>(stats.result_evictions),
+          static_cast<unsigned long long>(stats.result_invalidations));
+    }
   }
 
   if (args.shutdown) {
@@ -523,7 +542,9 @@ int Run(int argc, char** argv) {
   ConnectArgs connect;
   size_t topk = 10, limit = 20, threads = 1, shards = 0;
   size_t query_cache = 256;
+  long result_cache = -1;  // -1 = default (64 local, 128 connect)
   bool explain = false;
+  bool adaptive = true;
   std::vector<std::string> query_texts;
 
   for (int i = 1; i < argc; ++i) {
@@ -588,6 +609,14 @@ int Run(int argc, char** argv) {
         return 2;
       }
       query_cache = static_cast<size_t>(value);
+    } else if (arg == "--result-cache") {
+      result_cache = std::atol(need_value("--result-cache"));
+      if (result_cache < 0) {
+        std::fprintf(stderr, "--result-cache must be >= 0 (0 disables)\n");
+        return 2;
+      }
+    } else if (arg == "--no-adaptive") {
+      adaptive = false;
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--list-engines") {
@@ -605,7 +634,8 @@ int Run(int argc, char** argv) {
       std::printf("usage: nomsky_cli --csv FILE --schema SPEC "
                   "[--template PREFS] [--engine NAME|auto|sharded:NAME] "
                   "[--threads N] [--shards K] [--batch FILE] [--explain] "
-                  "[--topk K] [--limit N] [--save-shards FILE] "
+                  "[--topk K] [--limit N] [--result-cache N] "
+                  "[--no-adaptive] [--save-shards FILE] "
                   "[--load-shards FILE] [--split-shards PREFIX] "
                   "[QUERY ...]\n"
                   "       nomsky_cli --load-shards FILE [--template PREFS] "
@@ -615,8 +645,13 @@ int Run(int argc, char** argv) {
                   "[--query-cache N]\n"
                   "       nomsky_cli --connect HOST:PORT[,...] "
                   "[--push-image FILE] [--refresh SHARD:FILE] [--stats] "
-                  "[--shutdown] [--batch FILE] [--explain] [QUERY ...]\n"
-                  "       nomsky_cli --list-engines\n");
+                  "[--shutdown] [--batch FILE] [--explain] "
+                  "[--result-cache N] [QUERY ...]\n"
+                  "       nomsky_cli --list-engines\n"
+                  "--result-cache N bounds the profile-subsumption result "
+                  "cache (0 disables; default 64 local / 128 connect); "
+                  "--no-adaptive pins --engine auto to the static cost "
+                  "model instead of measured route latencies\n");
       return 0;
     } else {
       query_texts.push_back(arg);
@@ -630,6 +665,9 @@ int Run(int argc, char** argv) {
     connect.explain = explain;
     connect.limit = limit;
     connect.cache_capacity = query_cache;
+    if (result_cache >= 0) {
+      connect.result_cache_capacity = static_cast<size_t>(result_cache);
+    }
     connect.batch_path = batch_path;
     connect.query_texts = std::move(query_texts);
     return RunConnect(std::move(connect));
@@ -723,6 +761,12 @@ int Run(int argc, char** argv) {
   engine_options.query_shards = threads;
   engine_options.data_shards = shards;
   engine_options.pool = &pool;
+  engine_options.adaptive_routing = adaptive;
+  // Sharded engines carry their own result cache on the serving path;
+  // non-sharded engines get one at the executor below.
+  const size_t result_cache_capacity =
+      result_cache < 0 ? 64 : static_cast<size_t>(result_cache);
+  engine_options.result_cache_capacity = result_cache_capacity;
   if (!image_only) engine_options.shard_image_path = load_shards_path;
 
   WallTimer build;
@@ -811,15 +855,48 @@ int Run(int argc, char** argv) {
   }
 
   auto print_plan = [](const PlanDecision& decision) {
-    std::fprintf(stderr, "plan: %s (%s) kernel=%s\n", decision.engine.c_str(),
+    std::fprintf(stderr, "plan: %s [%s] (%s) kernel=%s\n",
+                 decision.engine.c_str(), decision.policy.c_str(),
                  decision.reason.c_str(), decision.kernel_tier.c_str());
   };
   auto print_auto_stats = [&] {
     if (auto_engine == nullptr) return;
     AutoEngine::DispatchCounts counts = auto_engine->dispatch_counts();
     std::fprintf(stderr,
-                 "auto dispatch: hybrid=%zu asfs=%zu sfsd=%zu sharded=%zu\n",
-                 counts.hybrid, counts.asfs, counts.sfsd, counts.sharded);
+                 "auto dispatch: hybrid=%zu asfs=%zu sfsd=%zu sharded=%zu "
+                 "(%s routing)\n",
+                 counts.hybrid, counts.asfs, counts.sfsd, counts.sharded,
+                 auto_engine->adaptive_routing() ? "adaptive" : "static");
+    if (!auto_engine->adaptive_routing()) return;
+    const RouteLatencyTable& table = auto_engine->route_latencies();
+    for (bool covered : {true, false}) {
+      std::string line;
+      for (size_t r = 0; r < RouteLatencyTable::kNumRoutes; ++r) {
+        const uint64_t samples = table.Samples(covered, r);
+        if (samples == 0) continue;
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), " %s=%.3fms/%llu",
+                      RouteLatencyTable::RouteName(r),
+                      1e3 * table.MeanSeconds(covered, r),
+                      static_cast<unsigned long long>(samples));
+        line += cell;
+      }
+      if (!line.empty()) {
+        std::fprintf(stderr, "route ewma (%s):%s\n",
+                     covered ? "tree-covered" : "uncovered", line.c_str());
+      }
+    }
+  };
+  auto print_result_cache_stats = [](const ResultCache* cache) {
+    if (cache == nullptr) return;
+    const ResultCache::Stats s = cache->stats();
+    std::fprintf(stderr,
+                 "result cache: %llu exact, %llu subsumed, %llu misses, "
+                 "%llu evictions\n",
+                 static_cast<unsigned long long>(s.exact_hits),
+                 static_cast<unsigned long long>(s.subsumed_hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.evictions));
   };
 
   if (!batch_path.empty()) {
@@ -848,13 +925,33 @@ int Run(int argc, char** argv) {
       queries.push_back(std::move(query).ValueOrDie());
     }
     QueryExecutor executor(*engine, &pool);
+    // Sharded engines answer through their own internal cache; every other
+    // engine gets one at the executor seam (needs the source table for the
+    // neutral pack on insert).
+    auto* sharded_local = dynamic_cast<ShardedEngine*>(engine.get());
+    std::unique_ptr<ResultCache> batch_cache;
+    if (result_cache_capacity > 0 && sharded_local == nullptr &&
+        data.has_value()) {
+      ResultCache::Options cache_options;
+      cache_options.capacity = result_cache_capacity;
+      batch_cache = std::make_unique<ResultCache>(schema, cache_options);
+      executor.set_result_cache(batch_cache.get(), &*data, &tmpl);
+    }
     BatchResult batch = executor.RunBatch(queries);
     for (size_t i = 0; i < queries.size(); ++i) {
       std::fprintf(stderr, "# %s\n", query_texts[i].c_str());
-      // The batch already ran; re-deriving the (deterministic) verdict is
-      // the only way to attach it per query after the fact.
+      // The batch already ran; the verdict is re-derived after the fact
+      // (against the post-batch latency table when routing adaptively — an
+      // approximation of the mid-batch state each query actually saw).
       if (explain && auto_engine != nullptr) {
-        print_plan(auto_engine->planner().Choose(queries[i]));
+        print_plan(auto_engine->adaptive_routing()
+                       ? auto_engine->planner().ChooseAdaptive(
+                             queries[i], auto_engine->route_latencies())
+                       : auto_engine->planner().Choose(queries[i]));
+      }
+      if (explain && batch_cache != nullptr) {
+        std::fprintf(stderr, "result cache: %s\n",
+                     CacheVerdictName(batch.cache_verdicts[i]));
       }
       if (!batch.statuses[i].ok()) {
         std::fprintf(stderr, "query: %s\n",
@@ -870,10 +967,17 @@ int Run(int argc, char** argv) {
                  queries.size(), batch.failures, 1e3 * batch.seconds,
                  batch.QueriesPerSecond(), pool.num_threads());
     print_auto_stats();
+    print_result_cache_stats(batch_cache != nullptr
+                                 ? batch_cache.get()
+                                 : (sharded_local != nullptr
+                                        ? sharded_local->result_cache()
+                                        : nullptr));
     return batch.failures == 0 ? 0 : 1;
   }
 
   // Interactive: answer stdin line by line.
+  const auto* sharded_interactive =
+      dynamic_cast<const ShardedEngine*>(engine.get());
   std::string line;
   while (std::getline(std::cin, line)) {
     if (Trim(line).empty()) continue;
@@ -884,11 +988,18 @@ int Run(int argc, char** argv) {
     }
     WallTimer timer;
     PlanDecision decision;
+    CacheVerdict verdict = CacheVerdict::kMiss;
     const bool explained = explain && auto_engine != nullptr;
     Result<std::vector<RowId>> rows =
         explained ? auto_engine->QueryExplained(*query, &decision)
-                  : engine->Query(*query);
+        : sharded_interactive != nullptr
+            ? sharded_interactive->QueryServed(*query, nullptr, &verdict)
+            : engine->Query(*query);
     if (explained) print_plan(decision);
+    if (explain && sharded_interactive != nullptr &&
+        sharded_interactive->result_cache() != nullptr) {
+      std::fprintf(stderr, "result cache: %s\n", CacheVerdictName(verdict));
+    }
     if (!rows.ok()) {
       std::fprintf(stderr, "query: %s\n", rows.status().ToString().c_str());
       continue;
@@ -898,6 +1009,9 @@ int Run(int argc, char** argv) {
     PrintRows(*view, *rows, limit);
   }
   print_auto_stats();
+  if (sharded_interactive != nullptr) {
+    print_result_cache_stats(sharded_interactive->result_cache());
+  }
   return 0;
 }
 
