@@ -47,7 +47,8 @@ export NOMSKY_QUERIES="${NOMSKY_QUERIES:-5}"
 mkdir -p "$out_dir"
 
 figure_benches=(fig4_dbsize fig5_dims fig6_cardinality fig7_order fig8_nursery
-                kernel parallel result_cache serving sharded snapshot)
+                kernel parallel rematerialization result_cache serving sharded
+                snapshot)
 if [[ $run_all -eq 1 ]]; then
   figure_benches+=(ablation_bitmap ablation_mdc baselines hybrid incremental
                    materialization transform)

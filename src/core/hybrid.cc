@@ -1,21 +1,122 @@
 #include "core/hybrid.h"
 
+#include <utility>
+
+#include "common/timer.h"
+
 namespace nomsky {
+namespace {
+
+// Smoothing factor of the tree-hit EWMA. Small enough that one odd query
+// doesn't move the needle, large enough that a genuine popularity drift
+// shows up within a few dozen queries.
+constexpr double kHitAlpha = 0.1;
+
+uint64_t BitsOf(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleOf(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
 
 HybridEngine::HybridEngine(const Dataset& data, const PreferenceProfile& tmpl,
                            size_t top_k, IpoTreeEngine::Options tree_options)
-    : tree_(data, tmpl, WithTopK(tree_options, top_k)), sfs_(data, tmpl) {}
+    : data_(&data),
+      template_(&tmpl),
+      tree_options_(WithTopK(std::move(tree_options), top_k)),
+      sfs_(data, tmpl) {
+  auto snap = std::make_shared<TreeSnapshot>();
+  snap->epoch = 0;
+  snap->plan = tree_options_.materialize_values;
+  WallTimer timer;
+  snap->tree = std::make_unique<IpoTreeEngine>(data, tmpl, tree_options_);
+  snap->build_seconds = timer.ElapsedSeconds();
+  Publish(std::move(snap));
+}
 
 Result<std::vector<RowId>> HybridEngine::Query(
     const PreferenceProfile& query) const {
-  Result<std::vector<RowId>> from_tree = tree_.Query(query);
+  // Pin once: the whole query runs against this generation even if a
+  // Rematerialize publishes a replacement mid-flight.
+  std::shared_ptr<const TreeSnapshot> snap = tree_snapshot();
+  Result<std::vector<RowId>> from_tree = snap->tree->Query(query);
   if (from_tree.ok()) {
     tree_hits_.fetch_add(1, std::memory_order_relaxed);
+    ObserveHit(true);
     return from_tree;
   }
   if (!from_tree.status().IsUnsupported()) return from_tree;  // real error
   fallback_hits_.fetch_add(1, std::memory_order_relaxed);
+  ObserveHit(false);
   return sfs_.Query(query);
+}
+
+Status HybridEngine::Rematerialize(std::vector<std::vector<ValueId>> plan) {
+  // Validate up front: IpoTreeEngine treats a malformed plan as a caller
+  // bug (NOMSKY_CHECK), but plans arriving here come from live history /
+  // the wire and must fail soft.
+  const Schema& schema = data_->schema();
+  if (plan.size() != schema.num_nominal()) {
+    return Status::InvalidArgument(
+        "materialization plan must list every nominal dimension");
+  }
+  for (size_t j = 0; j < plan.size(); ++j) {
+    const size_t cardinality = schema.dim(schema.nominal_dims()[j]).cardinality();
+    for (ValueId v : plan[j]) {
+      if (v >= cardinality) {
+        return Status::OutOfRange("materialization plan value out of domain");
+      }
+    }
+  }
+
+  // One publisher at a time; readers keep pinning the old tree while the
+  // replacement builds.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  auto snap = std::make_shared<TreeSnapshot>();
+  snap->epoch = tree_snapshot()->epoch + 1;
+  IpoTreeEngine::Options options = tree_options_;
+  options.materialize_values = plan;
+  WallTimer timer;
+  snap->tree = std::make_unique<IpoTreeEngine>(*data_, *template_, options);
+  snap->build_seconds = timer.ElapsedSeconds();
+  snap->plan = std::move(plan);
+  Publish(std::move(snap));
+  rematerializations_.fetch_add(1, std::memory_order_relaxed);
+  // The observed hit rate measured the retired tree; let the new one
+  // accumulate its own signal.
+  hit_ewma_bits_.store(0, std::memory_order_relaxed);
+  hit_samples_.store(0, std::memory_order_release);
+  return Status::OK();
+}
+
+void HybridEngine::ObserveHit(bool hit) const {
+  const double sample = hit ? 1.0 : 0.0;
+  // First sample seeds directly; later samples blend. Concurrent first
+  // samples (or a racing reset) can both "seed" — last writer wins, and
+  // the value stays inside [0, 1] either way, which is all the consumers
+  // (a rebuild controller, --explain) need.
+  if (hit_samples_.load(std::memory_order_relaxed) == 0) {
+    hit_ewma_bits_.store(BitsOf(sample), std::memory_order_relaxed);
+  } else {
+    uint64_t current = hit_ewma_bits_.load(std::memory_order_relaxed);
+    while (true) {
+      const double previous = DoubleOf(current);
+      const double next = previous + kHitAlpha * (sample - previous);
+      if (hit_ewma_bits_.compare_exchange_weak(current, BitsOf(next),
+                                               std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  hit_samples_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace nomsky

@@ -6,11 +6,26 @@
 // nominal dimension; queries whose preferences stay within the materialized
 // values are answered from the tree, everything else falls back to
 // Adaptive SFS.
+//
+// The tree lives behind an immutable, epoch-published snapshot slot (the
+// same pointer-copy publication discipline as ShardedEngine's shard
+// snapshots): Query pins the current tree once up front and never waits on
+// a rebuild. Rematerialize(plan) builds a replacement tree off-line —
+// Section 3.1's "for values which are seldom or never chosen, the
+// corresponding tree nodes are not needed", driven by live QueryHistory
+// instead of the build-time frequency guess — and swaps it in under the
+// next epoch. A swap never changes answers: the tree and the fallback
+// agree by construction, only WHICH of them answers moves.
 
 #ifndef NOMSKY_CORE_HYBRID_H_
 #define NOMSKY_CORE_HYBRID_H_
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/adaptive_sfs.h"
 #include "core/ipo_tree.h"
@@ -20,25 +35,67 @@ namespace nomsky {
 /// \brief IPO-Tree-k + Adaptive SFS fallback.
 class HybridEngine : public SkylineEngine {
  public:
+  /// One published tree generation. Immutable after publication; readers
+  /// holding the shared_ptr keep a retired generation alive until their
+  /// query completes.
+  struct TreeSnapshot {
+    uint64_t epoch = 0;  ///< 0 = the build-time tree, +1 per swap
+    /// The materialize_values this tree was built with (empty for the
+    /// build-time frequency top-k).
+    std::vector<std::vector<ValueId>> plan;
+    double build_seconds = 0.0;
+    std::unique_ptr<const IpoTreeEngine> tree;  ///< never null
+  };
+
   /// `top_k`: values materialized per nominal dimension (the paper uses 10).
+  /// `data` and `tmpl` must outlive the engine (Rematerialize re-reads
+  /// them to build replacement trees).
   HybridEngine(const Dataset& data, const PreferenceProfile& tmpl,
                size_t top_k, IpoTreeEngine::Options tree_options = {});
 
   const char* name() const override { return "Hybrid"; }
 
   /// Const and safe to call concurrently (both sub-engines are; the hit
-  /// counters are atomic).
+  /// counters are atomic and the tree is pinned once per query).
   Result<std::vector<RowId>> Query(
       const PreferenceProfile& query) const override;
 
+  /// \brief Builds a fresh IPO-Tree-k with `plan` as the per-dimension
+  /// materialized value lists (template choices are always added) and
+  /// publishes it under the next epoch. Builds OFF-LINE: concurrent
+  /// queries keep answering from the previous tree and never block on the
+  /// build; concurrent Rematerialize calls serialize on a writer mutex.
+  /// Returns InvalidArgument / OutOfRange on a malformed plan instead of
+  /// touching the published tree.
+  Status Rematerialize(std::vector<std::vector<ValueId>> plan);
+
   size_t MemoryUsage() const override {
-    return tree_.MemoryUsage() + sfs_.MemoryUsage();
+    return tree()->MemoryUsage() + sfs_.MemoryUsage();
   }
   double preprocessing_seconds() const override {
-    return tree_.preprocessing_seconds() + sfs_.preprocessing_seconds();
+    return tree()->preprocessing_seconds() + sfs_.preprocessing_seconds();
   }
 
-  const IpoTreeEngine& tree() const { return tree_; }
+  /// \brief Pins the current tree. The aliasing pointer keeps the whole
+  /// snapshot (and thus the tree) alive across a concurrent swap.
+  std::shared_ptr<const IpoTreeEngine> tree() const {
+    std::shared_ptr<const TreeSnapshot> snap = tree_snapshot();
+    return std::shared_ptr<const IpoTreeEngine>(snap, snap->tree.get());
+  }
+
+  /// \brief Pins the current tree generation (epoch + plan + tree).
+  std::shared_ptr<const TreeSnapshot> tree_snapshot() const {
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    return slot_;
+  }
+
+  uint64_t tree_epoch() const { return tree_snapshot()->epoch; }
+
+  /// \brief Completed Rematerialize calls.
+  size_t rematerializations() const {
+    return rematerializations_.load(std::memory_order_relaxed);
+  }
+
   const AdaptiveSfsEngine& adaptive_sfs() const { return sfs_; }
 
   /// \brief Queries answered by the tree / by the fallback so far.
@@ -49,6 +106,19 @@ class HybridEngine : public SkylineEngine {
     return fallback_hits_.load(std::memory_order_relaxed);
   }
 
+  /// \brief EWMA of the tree-hit indicator (1 = tree, 0 = fallback) over
+  /// recent queries; -1 until a query has been observed. Reset on every
+  /// Rematerialize — the rate measured against a retired tree says
+  /// nothing about its replacement.
+  double tree_hit_ewma() const {
+    if (hit_samples_.load(std::memory_order_acquire) == 0) return -1.0;
+    uint64_t bits = hit_ewma_bits_.load(std::memory_order_relaxed);
+    double value;
+    static_assert(sizeof(value) == sizeof(bits));
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
  private:
   static IpoTreeEngine::Options WithTopK(IpoTreeEngine::Options opts,
                                          size_t top_k) {
@@ -56,10 +126,37 @@ class HybridEngine : public SkylineEngine {
     return opts;
   }
 
-  IpoTreeEngine tree_;
+  void Publish(std::shared_ptr<const TreeSnapshot> snap) {
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    slot_ = std::move(snap);
+  }
+
+  void ObserveHit(bool hit) const;
+
+  const Dataset* data_;
+  const PreferenceProfile* template_;
+  IpoTreeEngine::Options tree_options_;  ///< top_k already folded in
+
+  // Publication slot: the critical section is only a pointer copy/swap, so
+  // readers and the publisher exchange the lock in nanoseconds and a query
+  // never waits on a tree build. Deliberately a mutex-guarded shared_ptr,
+  // not std::atomic<shared_ptr> — see ShardedEngine's SnapshotSlot for why
+  // (libstdc++'s lock-bit protocol is invisible to tsan).
+  mutable std::mutex slot_mutex_;
+  std::shared_ptr<const TreeSnapshot> slot_;
+  std::mutex writer_mutex_;  ///< serializes Rematerialize publishers
+
   AdaptiveSfsEngine sfs_;
   mutable std::atomic<size_t> tree_hits_{0};
   mutable std::atomic<size_t> fallback_hits_{0};
+  std::atomic<size_t> rematerializations_{0};
+
+  // Hit-rate EWMA, maintained lock-free like RouteLatencyTable: the double
+  // travels bit-cast through an atomic u64 CAS loop. hit_samples_ == 0 is
+  // the no-data state (a plain bits==0 sentinel cannot work here — a first
+  // fallback sample legitimately seeds the EWMA to exactly 0.0).
+  mutable std::atomic<uint64_t> hit_ewma_bits_{0};
+  mutable std::atomic<uint64_t> hit_samples_{0};
 };
 
 }  // namespace nomsky

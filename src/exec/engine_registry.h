@@ -84,6 +84,15 @@ struct EngineOptions {
   /// surfaces that want the loop (the CLI, bench_result_cache) arm it
   /// explicitly.
   bool adaptive_routing = false;
+  /// Arms history-driven IPO-Tree-k re-materialization on the sharded
+  /// path (exec/materialization_controller.h): when > 0 and a `history`
+  /// is supplied with a "sharded:hybrid" engine, a controller watches the
+  /// observed tree-hit EWMA and rebuilds the per-shard trees off-line
+  /// (epoch-published, answers unchanged) once it drops below this
+  /// threshold. 0 disables the controller.
+  double rematerialize_threshold = 0.0;
+  /// Minimum answered queries between re-materialization decisions.
+  size_t rematerialize_cooldown = 64;
 };
 
 /// \brief Maps the shared options onto IPO-tree construction options — the

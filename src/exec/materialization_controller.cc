@@ -1,0 +1,121 @@
+#include "exec/materialization_controller.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nomsky {
+
+MaterializationController::MaterializationController(
+    const QueryHistory* history, ObservedRateFn observed_rate,
+    RebuildFn rebuild, Options options)
+    : history_(history),
+      observed_rate_(std::move(observed_rate)),
+      rebuild_(std::move(rebuild)),
+      options_(options) {
+  NOMSKY_CHECK(history_ != nullptr) << "controller needs a QueryHistory";
+  NOMSKY_CHECK(observed_rate_ != nullptr);
+  NOMSKY_CHECK(rebuild_ != nullptr);
+  if (options_.topk == 0) options_.topk = 10;
+}
+
+MaterializationController::~MaterializationController() { Sync(); }
+
+void MaterializationController::Tick() {
+  const uint64_t observed =
+      observations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (observed < options_.min_observations) return;
+  const uint64_t last = last_attempt_.load(std::memory_order_relaxed);
+  if (last != 0 && observed - last < options_.cooldown) return;
+
+  const double rate = observed_rate_();
+  // No signal yet (freshly swapped tree) — nothing to judge.
+  if (rate < 0.0) return;
+  if (rate >= options_.threshold) return;
+
+  // One decision at a time; losers simply keep serving.
+  if (decision_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  last_attempt_.store(observed, std::memory_order_relaxed);
+
+  if (options_.pool != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      async_pending_ = true;
+    }
+    options_.pool->Submit([this] {
+      Decide();
+      std::lock_guard<std::mutex> lock(mutex_);
+      async_pending_ = false;
+      decision_inflight_.store(false, std::memory_order_release);
+      idle_cv_.notify_all();
+    });
+  } else {
+    Decide();
+    decision_inflight_.store(false, std::memory_order_release);
+  }
+}
+
+bool MaterializationController::Decide() {
+  // Re-read the live signals: by the time a pool slot frees up, the
+  // workload may have moved again.
+  const double observed = observed_rate_();
+  std::vector<std::vector<ValueId>> plan =
+      history_->MaterializationPlan(options_.topk);
+  const double planned = history_->CoverageOf(plan);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++decisions_;
+    planned_coverage_ = planned;
+  }
+  // Hysteresis: rebuild only when the history plan would actually help.
+  // An oscillating workload that no k-wide plan covers keeps failing this
+  // test and never thrashes the tree.
+  if (observed >= 0.0 && planned < observed + options_.hysteresis) {
+    return false;
+  }
+  const Status status = rebuild_(std::move(plan));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status.ok()) {
+    ++rebuilds_;
+  } else {
+    ++rebuild_failures_;
+  }
+  return status.ok();
+}
+
+Status MaterializationController::RematerializeNow(size_t topk) {
+  std::vector<std::vector<ValueId>> plan =
+      history_->MaterializationPlan(topk == 0 ? options_.topk : topk);
+  const double planned = history_->CoverageOf(plan);
+  const Status status = rebuild_(std::move(plan));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++decisions_;
+  planned_coverage_ = planned;
+  if (status.ok()) {
+    ++rebuilds_;
+  } else {
+    ++rebuild_failures_;
+  }
+  last_attempt_.store(observations_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return status;
+}
+
+void MaterializationController::Sync() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return !async_pending_; });
+}
+
+MaterializationController::Stats MaterializationController::stats() const {
+  Stats stats;
+  stats.observations = observations_.load(std::memory_order_relaxed);
+  stats.observed_hit_ewma = observed_rate_();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.rebuilds = rebuilds_;
+  stats.rebuild_failures = rebuild_failures_;
+  stats.decisions = decisions_;
+  stats.planned_coverage = planned_coverage_;
+  return stats;
+}
+
+}  // namespace nomsky

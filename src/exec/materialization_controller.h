@@ -1,0 +1,129 @@
+// MaterializationController: closes the loop of paper Section 3.1 — "the
+// tree size can be further controlled if we know the query pattern" — by
+// watching the OBSERVED tree-hit rate of a hybrid engine against the
+// coverage QueryHistory::MaterializationPlan(k) would deliver, and
+// triggering an off-line re-materialization (HybridEngine::Rematerialize /
+// ShardedEngine::Rematerialize) when the workload has drifted away from
+// the materialized value lists.
+//
+// Anti-thrash discipline:
+//   * warm-up — no decision before `min_observations` ticks;
+//   * threshold — a rebuild is only considered while the observed hit
+//     EWMA sits below `threshold`;
+//   * hysteresis — the history plan's expected coverage must beat the
+//     observed rate by `hysteresis`, so an oscillating workload that no
+//     plan covers cannot trigger rebuild after rebuild;
+//   * cooldown — at least `cooldown` ticks between decision attempts
+//     (successful or not), so the freshly swapped tree gets to accumulate
+//     its own hit-rate signal before it can be judged.
+//
+// Tick() is the per-answered-query hook and stays a handful of relaxed
+// atomics until a decision is actually due; the rebuild itself runs on the
+// ThreadPool when one is armed (queries never wait on it), inline
+// otherwise. All methods are internally synchronized.
+
+#ifndef NOMSKY_EXEC_MATERIALIZATION_CONTROLLER_H_
+#define NOMSKY_EXEC_MATERIALIZATION_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query_history.h"
+#include "exec/thread_pool.h"
+
+namespace nomsky {
+
+class MaterializationController {
+ public:
+  struct Options {
+    /// Plan width: values per dimension requested from
+    /// QueryHistory::MaterializationPlan.
+    size_t topk = 10;
+    /// Consider rebuilding while the observed tree-hit EWMA is below this.
+    double threshold = 0.5;
+    /// The plan's expected coverage must exceed the observed rate by this
+    /// margin before a rebuild fires.
+    double hysteresis = 0.1;
+    /// Minimum ticks between decision attempts.
+    size_t cooldown = 64;
+    /// Ticks before the first decision attempt.
+    size_t min_observations = 16;
+    /// Rebuilds run here when non-null (off-line; Tick returns
+    /// immediately). Must outlive the controller.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Applies a materialization plan to the engine (e.g. binds
+  /// HybridEngine::Rematerialize). Runs off-line on the pool.
+  using RebuildFn = std::function<Status(std::vector<std::vector<ValueId>>)>;
+  /// Reports the engine's observed tree-hit EWMA, < 0 when there is no
+  /// signal yet (e.g. HybridEngine::tree_hit_ewma right after a swap).
+  using ObservedRateFn = std::function<double()>;
+
+  /// `history` must outlive the controller; it is the source of both the
+  /// candidate plan and its expected coverage.
+  MaterializationController(const QueryHistory* history,
+                            ObservedRateFn observed_rate, RebuildFn rebuild,
+                            Options options);
+  /// Waits for an in-flight asynchronous rebuild (Sync) before returning.
+  ~MaterializationController();
+
+  MaterializationController(const MaterializationController&) = delete;
+  MaterializationController& operator=(const MaterializationController&) =
+      delete;
+
+  /// \brief Per-answered-query hook. Cheap (relaxed atomics) unless a
+  /// decision is due, in which case the decision+rebuild is dispatched to
+  /// the pool (or runs inline without one).
+  void Tick();
+
+  /// \brief Manual trigger (the admin verb): rebuilds from the current
+  /// history plan immediately on the calling thread, ignoring threshold,
+  /// hysteresis and cooldown. `topk` = 0 uses the configured width.
+  Status RematerializeNow(size_t topk = 0);
+
+  /// \brief Blocks until no asynchronous rebuild is in flight.
+  void Sync();
+
+  struct Stats {
+    uint64_t observations = 0;
+    uint64_t rebuilds = 0;          ///< rebuild calls that returned OK
+    uint64_t rebuild_failures = 0;
+    uint64_t decisions = 0;         ///< decision attempts (incl. declined)
+    double observed_hit_ewma = -1.0;   ///< live engine signal
+    double planned_coverage = -1.0;    ///< at the last decision attempt
+  };
+  Stats stats() const;
+
+ private:
+  /// Evaluates threshold/hysteresis against live history and rebuilds when
+  /// warranted. Returns whether a rebuild ran.
+  bool Decide();
+
+  const QueryHistory* history_;
+  ObservedRateFn observed_rate_;
+  RebuildFn rebuild_;
+  Options options_;
+
+  std::atomic<uint64_t> observations_{0};
+  std::atomic<uint64_t> last_attempt_{0};  ///< observation count at attempt
+  std::atomic<bool> decision_inflight_{false};
+
+  mutable std::mutex mutex_;  ///< guards the non-atomic stats + cv
+  std::condition_variable idle_cv_;
+  bool async_pending_ = false;
+  uint64_t rebuilds_ = 0;
+  uint64_t rebuild_failures_ = 0;
+  uint64_t decisions_ = 0;
+  double planned_coverage_ = -1.0;
+};
+
+}  // namespace nomsky
+
+#endif  // NOMSKY_EXEC_MATERIALIZATION_CONTROLLER_H_

@@ -60,6 +60,9 @@ BatchResult QueryExecutor::RunBatch(
       // Only answered queries enter the popularity statistics — failed
       // ones must not steer future materialization plans.
       if (history != nullptr) history->Record(queries[i]);
+      // Tick only on engine-served answers: cache hits never touch the
+      // tree, so they carry no new hit/fallback evidence.
+      if (remat_ != nullptr) remat_->Tick();
     } else {
       batch.statuses[i] = result.status();
     }

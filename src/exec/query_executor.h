@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/query_history.h"
+#include "exec/materialization_controller.h"
 #include "exec/result_cache.h"
 #include "exec/thread_pool.h"
 #include "order/preference_profile.h"
@@ -67,6 +68,13 @@ class QueryExecutor {
     template_ = tmpl;
   }
 
+  /// \brief Arms the adaptive re-materialization controller: each answered
+  /// query Ticks it, so coverage decisions track the served workload. The
+  /// controller must outlive the executor; not owned. Null disarms.
+  void set_materialization_controller(MaterializationController* remat) {
+    remat_ = remat;
+  }
+
   /// \brief Runs every query, fanning out across the pool. When `history`
   /// is non-null each answered query is recorded into it (QueryHistory is
   /// internally synchronized).
@@ -79,6 +87,7 @@ class QueryExecutor {
   ResultCache* cache_ = nullptr;        // null = no result caching
   const Dataset* source_ = nullptr;     // required when cache_ is set
   const PreferenceProfile* template_ = nullptr;
+  MaterializationController* remat_ = nullptr;  // null = no adaptive rebuilds
 };
 
 }  // namespace nomsky

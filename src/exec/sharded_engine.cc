@@ -1,9 +1,11 @@
 #include "exec/sharded_engine.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
 #include "common/timer.h"
+#include "core/hybrid.h"
 #include "exec/thread_pool.h"
 #include "skyline/sfs.h"
 
@@ -62,11 +64,28 @@ ShardedEngine::ShardedEngine(Schema schema, ShardPolicy policy,
   inner_options_.data_shards = 0;
   inner_options_.shard_image_path.clear();
   inner_options_.result_cache_capacity = 0;  // one cache, in front of fan-out
+  inner_options_.rematerialize_threshold = 0.0;  // one controller, out here
   if (options.result_cache_capacity > 0) {
     ResultCache::Options cache_options;
     cache_options.capacity = options.result_cache_capacity;
     cache_options.history = options.history;
     cache_ = std::make_unique<ResultCache>(schema_, cache_options);
+  }
+  // The re-materialization loop needs a workload signal (history), a
+  // threshold, and inner engines with a tree to re-materialize.
+  if (options.rematerialize_threshold > 0.0 && options.history != nullptr &&
+      inner_name_ == "hybrid") {
+    MaterializationController::Options controller_options;
+    controller_options.topk = options.topk;
+    controller_options.threshold = options.rematerialize_threshold;
+    controller_options.cooldown = options.rematerialize_cooldown;
+    controller_options.pool = options.pool;
+    remat_ = std::make_unique<MaterializationController>(
+        options.history, [this] { return tree_hit_ewma(); },
+        [this](std::vector<std::vector<ValueId>> plan) {
+          return Rematerialize(std::move(plan));
+        },
+        controller_options);
   }
 }
 
@@ -236,6 +255,45 @@ Status ShardedEngine::RebuildShard(size_t s, Dataset rows,
   return Status::OK();
 }
 
+Status ShardedEngine::Rematerialize(std::vector<std::vector<ValueId>> plan) {
+  // Writer-serialized with RebuildShard: at most one publisher touches the
+  // slot set at a time, so every shard's hybrid is re-materialized exactly
+  // once per call and a racing shard rebuild cannot interleave.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  const size_t k = slots_.size();
+  std::vector<std::shared_ptr<const ShardSnapshot>> snaps(k);
+  std::vector<HybridEngine*> hybrids(k);
+  for (size_t s = 0; s < k; ++s) {
+    snaps[s] = snapshot(s);
+    // const unique_ptr<SkylineEngine>::get() hands out the non-const
+    // engine: snapshot immutability covers the data/rows/packed block, and
+    // the hybrid's own tree slot is the engine's internal publication
+    // point (pointer-copy, like ours).
+    hybrids[s] = dynamic_cast<HybridEngine*>(snaps[s]->engine.get());
+    if (hybrids[s] == nullptr) {
+      return Status::InvalidArgument(
+          "inner engine '", inner_name_, "' of shard ", s,
+          " has no re-materializable IPO-Tree-k (use sharded:hybrid)");
+    }
+  }
+  // Each shard builds its replacement tree off-line and swaps under its
+  // hybrid's next tree epoch; readers keep draining whatever tree they
+  // pinned. All shards get the SAME plan — the history that produced it
+  // observed the full (unsharded) workload.
+  std::vector<Status> statuses(k);
+  ParallelFor(pool_, k, [&](size_t s) {
+    statuses[s] = hybrids[s]->Rematerialize(plan);
+  });
+  for (const Status& status : statuses) {
+    NOMSKY_RETURN_NOT_OK(status);
+  }
+  // Deliberately NO cache invalidation (contrast RebuildShard): a
+  // re-materialization changes WHICH sub-engine answers, never the answer
+  // itself, so every cached entry is still byte-identical to a fresh scan
+  // (pinned by tests/rematerialize_test.cc).
+  return Status::OK();
+}
+
 Result<std::vector<RowId>> ShardedEngine::Query(
     const PreferenceProfile& query) const {
   return QueryServed(query, nullptr);
@@ -329,7 +387,80 @@ Result<std::vector<RowId>> ShardedEngine::QueryServed(
   if (cache_ != nullptr) {
     cache_->Insert(effective, cache_generation, skyline, *winners);
   }
+  // Feed the re-materialization loop: one tick per query that actually
+  // reached the shard engines (cache hits carry no tree-hit signal). A due
+  // decision dispatches the rebuild to the pool — this query is done
+  // either way.
+  if (remat_ != nullptr) remat_->Tick();
   return skyline;
+}
+
+size_t ShardedEngine::tree_hits_total() const {
+  size_t total = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const std::shared_ptr<const ShardSnapshot> snap = snapshot(s);
+    if (snap == nullptr) continue;
+    if (const auto* hybrid =
+            dynamic_cast<const HybridEngine*>(snap->engine.get())) {
+      total += hybrid->tree_hits();
+    }
+  }
+  return total;
+}
+
+size_t ShardedEngine::fallback_hits_total() const {
+  size_t total = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const std::shared_ptr<const ShardSnapshot> snap = snapshot(s);
+    if (snap == nullptr) continue;
+    if (const auto* hybrid =
+            dynamic_cast<const HybridEngine*>(snap->engine.get())) {
+      total += hybrid->fallback_hits();
+    }
+  }
+  return total;
+}
+
+double ShardedEngine::tree_hit_ewma() const {
+  double sum = 0.0;
+  size_t with_signal = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const std::shared_ptr<const ShardSnapshot> snap = snapshot(s);
+    if (snap == nullptr) continue;  // mid-construction probe
+    const auto* hybrid = dynamic_cast<const HybridEngine*>(snap->engine.get());
+    if (hybrid == nullptr) continue;
+    const double ewma = hybrid->tree_hit_ewma();
+    if (ewma < 0.0) continue;  // freshly swapped, no samples yet
+    sum += ewma;
+    ++with_signal;
+  }
+  return with_signal > 0 ? sum / static_cast<double>(with_signal) : -1.0;
+}
+
+uint64_t ShardedEngine::tree_epoch() const {
+  uint64_t epoch = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const std::shared_ptr<const ShardSnapshot> snap = snapshot(s);
+    if (snap == nullptr) continue;
+    if (const auto* hybrid =
+            dynamic_cast<const HybridEngine*>(snap->engine.get())) {
+      epoch = std::max(epoch, hybrid->tree_epoch());
+    }
+  }
+  return epoch;
+}
+
+size_t ShardedEngine::rematerializations() const {
+  size_t count = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    const std::shared_ptr<const ShardSnapshot> snap = snapshot(s);
+    if (snap == nullptr) continue;
+    if (const auto* hybrid =
+            dynamic_cast<const HybridEngine*>(snap->engine.get())) {
+      count = std::max(count, hybrid->rematerializations());
+    }
+  }
+  return count;
 }
 
 size_t ShardedEngine::MemoryUsage() const {

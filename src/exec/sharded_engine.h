@@ -47,6 +47,7 @@
 #include "core/engine.h"
 #include "dominance/kernel.h"
 #include "exec/engine_registry.h"
+#include "exec/materialization_controller.h"
 #include "exec/result_cache.h"
 #include "exec/shard_image.h"
 #include "exec/sharded_dataset.h"
@@ -136,6 +137,16 @@ class ShardedEngine : public SkylineEngine {
   /// the engine's source row bound; one id per row).
   Status RebuildShard(size_t s, Dataset rows, std::vector<RowId> global_rows);
 
+  /// \brief Rebuilds every shard's IPO-Tree-k with `plan` as the
+  /// materialized value lists (inner engines must be hybrid) — the
+  /// history-driven truncation of paper Section 3.1, applied to a LIVE
+  /// engine. Like RebuildShard the replacement trees build off-line and
+  /// publish via pointer swaps (per-shard tree epochs), so queries never
+  /// wait; unlike RebuildShard the data is untouched and answers are
+  /// byte-identical by construction, so the result cache is deliberately
+  /// NOT invalidated.
+  Status Rematerialize(std::vector<std::vector<ValueId>> plan);
+
   const char* name() const override { return name_.c_str(); }
 
   Result<std::vector<RowId>> Query(
@@ -207,6 +218,26 @@ class ShardedEngine : public SkylineEngine {
   /// \brief The armed result cache, or null (result_cache_capacity == 0).
   const ResultCache* result_cache() const { return cache_.get(); }
 
+  /// \brief The armed re-materialization controller, or null (armed iff
+  /// EngineOptions::rematerialize_threshold > 0 with a history and hybrid
+  /// inner engines).
+  const MaterializationController* materialization_controller() const {
+    return remat_.get();
+  }
+
+  /// \brief Tree-hit / fallback counters summed over the current shard
+  /// hybrids (both 0 when the inner engine is not hybrid).
+  size_t tree_hits_total() const;
+  size_t fallback_hits_total() const;
+  /// \brief Mean of the shard hybrids' tree-hit EWMAs (shards see the same
+  /// queries, so the rates track); -1 without signal or hybrid inners.
+  double tree_hit_ewma() const;
+  /// \brief Highest shard tree epoch (they move in lockstep — Rematerialize
+  /// swaps every shard).
+  uint64_t tree_epoch() const;
+  /// \brief Completed re-materializations (max over shard hybrids).
+  size_t rematerializations() const;
+
  private:
   ShardedEngine(Schema schema, ShardPolicy policy, uint64_t source_rows,
                 const PreferenceProfile& tmpl, std::string inner_name,
@@ -232,7 +263,13 @@ class ShardedEngine : public SkylineEngine {
   /// Armed iff EngineOptions::result_cache_capacity > 0; internally
   /// synchronized (const Query paths mutate it through the pointer).
   std::unique_ptr<ResultCache> cache_;
-  std::mutex writer_mutex_;  // serializes RebuildShard publishers
+  /// Armed iff rematerialize_threshold > 0 with a history and hybrid
+  /// inners; internally synchronized (the const QueryServed path ticks it
+  /// through the pointer, like cache_). Declared after slots_ so it is
+  /// destroyed first — its destructor syncs any in-flight async rebuild
+  /// that still references the slots.
+  std::unique_ptr<MaterializationController> remat_;
+  std::mutex writer_mutex_;  // serializes RebuildShard/Rematerialize
   mutable std::atomic<size_t> last_merge_candidates_{0};
   mutable std::atomic<size_t> last_merge_survivors_{0};
 };

@@ -29,6 +29,8 @@ const char* FrameTypeName(FrameType type) {
       return "Ok";
     case FrameType::kError:
       return "Error";
+    case FrameType::kRematerialize:
+      return "Rematerialize";
   }
   return "Unknown";
 }
@@ -57,7 +59,7 @@ Result<Frame> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
   }
   const uint8_t raw_type = header[1];
   if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<uint8_t>(FrameType::kError)) {
+      raw_type > kMaxFrameType) {
     return Status::InvalidArgument("unknown frame type ",
                                    static_cast<unsigned>(raw_type));
   }

@@ -24,6 +24,9 @@
 //   kRefresh      -> kOk | kError    single-shard image, RebuildShard
 //   kStats        -> kStatsResult
 //   kShutdown     -> kOk             then the server stops accepting
+//   kRematerialize-> kOk | kError    re-tune the IPO-Tree-k from live
+//                                    history (payload: u32 plan width k);
+//                                    kOk carries the new u64 tree epoch
 //
 // Frame payload caps are asymmetric by design: servers accept large
 // kLoadShard/kRefresh frames (bounded by Options::max_payload), while
@@ -64,7 +67,13 @@ enum class FrameType : uint8_t {
   kShutdown = 9,
   kOk = 10,
   kError = 11,
+  kRematerialize = 12,
 };
+
+/// \brief Highest valid FrameType value — DecodeFrameHeader's range check.
+/// MUST track the last enumerator above when the protocol grows.
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kRematerialize);
 
 /// \brief Human-readable frame type name (for logs and error messages).
 const char* FrameTypeName(FrameType type);

@@ -143,15 +143,41 @@ void TcpSocket::Close() {
   }
 }
 
+TcpListener::~TcpListener() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  fd_ = other.fd_;
+  port_ = other.port_;
+  shut_down_ = other.shut_down_;
+  other.fd_ = -1;
+  other.port_ = 0;
+  other.shut_down_ = false;
+}
+
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
-    Close();
+    std::scoped_lock lock(mutex_, other.mutex_);
+    if (fd_ >= 0) ::close(fd_);  // full release; no Accept races a move
     fd_ = other.fd_;
     port_ = other.port_;
+    shut_down_ = other.shut_down_;
     other.fd_ = -1;
     other.port_ = 0;
+    other.shut_down_ = false;
   }
   return *this;
+}
+
+bool TcpListener::valid() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fd_ >= 0 && !shut_down_;
 }
 
 Result<TcpListener> TcpListener::Listen(uint16_t port) {
@@ -189,8 +215,17 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
 }
 
 Result<TcpSocket> TcpListener::Accept(int timeout_ms) {
-  if (fd_ < 0) return Status::Unavailable("listener is closed");
-  pollfd pfd{fd_, POLLIN, 0};
+  // Read the fd under the same mutex Close() writes through; the poll and
+  // accept below run on the copy, outside the lock, so a shutdown (which
+  // wakes both) never waits on a sleeping acceptor. The fd stays a valid
+  // listener even after Close() — only the destructor releases it.
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 || shut_down_) return Status::Unavailable("listener is closed");
+    fd = fd_;
+  }
+  pollfd pfd{fd, POLLIN, 0};
   int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready < 0) {
     if (errno == EINTR) {
@@ -202,8 +237,12 @@ Result<TcpSocket> TcpListener::Accept(int timeout_ms) {
     return Status::DeadlineExceeded("no connection within ", timeout_ms,
                                     " ms");
   }
-  int conn = ::accept(fd_, nullptr, nullptr);
+  int conn = ::accept(fd, nullptr, nullptr);
   if (conn < 0) {
+    // shutdown(2) wakes the poll and makes accept fail (EINVAL); report
+    // that as the documented "listener is closed", not an Internal error.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return Status::Unavailable("listener is closed");
     return Status::Internal("accept failed: ", std::strerror(errno));
   }
   int one = 1;
@@ -212,9 +251,12 @@ Result<TcpSocket> TcpListener::Accept(int timeout_ms) {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0 && !shut_down_) {
+    // Wake any poller/acceptor; keep the fd alive (see header) so a
+    // racing Accept cannot observe a recycled descriptor number.
+    ::shutdown(fd_, SHUT_RDWR);
+    shut_down_ = true;
   }
 }
 

@@ -18,6 +18,7 @@
 #define NOMSKY_NET_SOCKET_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -63,15 +64,21 @@ class TcpSocket {
 
 /// \brief RAII listening socket. Accept polls so a closed/shut-down
 /// listener wakes sleepers promptly.
+///
+/// Thread-safety: Close() may be called from any thread WHILE another
+/// thread sits in Accept() — that is the server-shutdown path (the accept
+/// loop wakes with Unavailable). Close() only shuts the socket down
+/// (shutdown(2)) under the same mutex Accept reads the fd through; the fd
+/// itself is released by the destructor / move-assignment, so a racing
+/// Accept can never poll a recycled fd number. Destruction and moves are
+/// NOT safe concurrent with Accept — join accept threads first (Close()
+/// is exactly the wake-up call for that).
 class TcpListener {
  public:
   TcpListener() = default;
-  ~TcpListener() { Close(); }
+  ~TcpListener();
 
-  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
-    other.fd_ = -1;
-    other.port_ = 0;
-  }
+  TcpListener(TcpListener&& other) noexcept;
   TcpListener& operator=(TcpListener&& other) noexcept;
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
@@ -85,12 +92,16 @@ class TcpListener {
   Result<TcpSocket> Accept(int timeout_ms);
 
   uint16_t port() const { return port_; }
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const;
 
+  /// \brief Shuts the listener down: pending and future Accept calls
+  /// return Unavailable. Idempotent; safe concurrent with Accept.
   void Close();
 
  private:
+  mutable std::mutex mutex_;  // guards fd_ / shut_down_ against Accept
   int fd_ = -1;
+  bool shut_down_ = false;
   uint16_t port_ = 0;
 };
 

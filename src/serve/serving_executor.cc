@@ -350,6 +350,31 @@ Status ServingExecutor::Refresh(size_t b, uint32_t shard,
   return Status::OK();
 }
 
+Result<uint64_t> ServingExecutor::Rematerialize(size_t b, uint32_t topk) {
+  if (b >= backends_.size()) {
+    return Status::OutOfRange("backend ", b, " out of range (",
+                              backends_.size(), " connected)");
+  }
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  writer.Pod<uint32_t>(topk);
+  NOMSKY_ASSIGN_OR_RETURN(Frame reply,
+                          Call(*backends_[b], FrameType::kRematerialize,
+                               std::move(out).str(), FrameType::kOk));
+  // Deliberately NO result-cache invalidation (contrast Refresh): a
+  // re-materialization re-tunes WHICH sub-engine answers on the backend,
+  // never the answer itself, so every cached entry stays byte-identical to
+  // a fresh fan-out.
+  std::istringstream in(reply.payload);
+  BinaryReader reader(in);
+  uint64_t tree_epoch = 0;
+  if (!reader.Pod(&tree_epoch)) {
+    return Status::Internal("backend ", Where(backends_[b]->endpoint),
+                            ": truncated rematerialize reply");
+  }
+  return tree_epoch;
+}
+
 Status ServingExecutor::PushImage(size_t b, const std::string& image_bytes) {
   if (b >= backends_.size()) {
     return Status::OutOfRange("backend ", b, " out of range (",
@@ -377,7 +402,8 @@ Result<ShardServerStats> ServingExecutor::ServerStats(size_t b) {
   if (!reader.Pod(&stats.queries) || !reader.Pod(&stats.query_failures) ||
       !reader.Pod(&stats.refreshes) || !reader.Pod(&stats.loads) ||
       !reader.Pod(&stats.rejected_frames) || !reader.Pod(&stats.cache_hits) ||
-      !reader.Pod(&stats.cache_misses)) {
+      !reader.Pod(&stats.cache_misses) ||
+      !reader.Pod(&stats.rematerializations)) {
     return Status::Internal("backend ", Where(backends_[b]->endpoint),
                             ": truncated stats reply");
   }

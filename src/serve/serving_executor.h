@@ -128,6 +128,13 @@ class ServingExecutor {
   /// remote-bootstrap path.
   Status PushImage(size_t b, const std::string& image_bytes);
 
+  /// \brief Asks backend `b` to re-materialize its IPO-Tree-k from its
+  /// recorded query history with `topk` values per dimension (0 = the
+  /// server's default width); returns the backend's new tree epoch. The
+  /// swap is answer-preserving, so — unlike Refresh — the front-end result
+  /// cache is NOT invalidated.
+  Result<uint64_t> Rematerialize(size_t b, uint32_t topk = 0);
+
   /// \brief Fetches backend `b`'s serving counters (kStats).
   Result<ShardServerStats> ServerStats(size_t b);
 

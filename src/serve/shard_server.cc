@@ -32,10 +32,20 @@ Status ShardServer::Start() {
 Status ShardServer::Bootstrap(ShardImage&& image) {
   auto state = std::make_shared<EngineState>();
   state->tmpl = std::make_unique<PreferenceProfile>(image.schema);
+  state->history =
+      std::make_unique<QueryHistory>(image.schema, options_.history_window);
   EngineOptions engine_options;
   engine_options.build_threads = 0;  // builds always use all cores
   engine_options.query_shards = options_.threads;
   engine_options.pool = pool_.get();
+  // The live-history loop: answered queries are recorded (HandleQuery), a
+  // kRematerialize verb re-tunes the hybrid trees from the recorded plan,
+  // and a threshold > 0 arms the engine's own controller to do that
+  // automatically when the observed tree-hit rate decays.
+  engine_options.history = state->history.get();
+  engine_options.topk = options_.rematerialize_topk;
+  engine_options.rematerialize_threshold = options_.rematerialize_threshold;
+  engine_options.rematerialize_cooldown = options_.rematerialize_cooldown;
   NOMSKY_ASSIGN_OR_RETURN(
       state->engine,
       ShardedEngine::CreateFromImage(options_.inner_engine, std::move(image),
@@ -181,6 +191,16 @@ bool ShardServer::HandleFrame(net::TcpSocket& socket, Frame&& frame) {
       }
       return net::SendFrame(socket, FrameType::kError, status.ToString()).ok();
     }
+    case FrameType::kRematerialize: {
+      std::string reply;
+      const Status status = HandleRematerialize(frame.payload, &reply);
+      if (status.ok()) {
+        // stats() reads the swap count straight off the engine, so the
+        // counter also covers controller-triggered rebuilds.
+        return net::SendFrame(socket, FrameType::kOk, reply).ok();
+      }
+      return net::SendFrame(socket, FrameType::kError, status.ToString()).ok();
+    }
     case FrameType::kStats:
       return net::SendFrame(socket, FrameType::kStatsResult, StatsPayload())
           .ok();
@@ -232,6 +252,35 @@ Status ShardServer::HandleRefresh(const std::string& payload) {
                                      std::move(fresh.global_rows));
 }
 
+Status ShardServer::HandleRematerialize(const std::string& payload,
+                                        std::string* reply) {
+  auto state = engine_state();
+  if (state == nullptr) {
+    return Status::Unavailable(
+        "rematerialize before any shard image was loaded");
+  }
+  std::istringstream in(payload);
+  BinaryReader reader(in);
+  uint32_t topk = 0;
+  if (!reader.Pod(&topk)) {
+    return Status::InvalidArgument("truncated rematerialize frame");
+  }
+  const size_t width = topk != 0 ? topk : options_.rematerialize_topk;
+  // An empty history yields an all-empty plan — the tree shrinks to the
+  // template skyline. That is a legitimate re-tune (nothing is popular),
+  // not an error; Rematerialize still rejects non-hybrid inner engines.
+  NOMSKY_RETURN_NOT_OK(
+      state->engine->Rematerialize(state->history->MaterializationPlan(width)));
+  std::ostringstream out;
+  BinaryWriter writer(out);
+  writer.Pod<uint64_t>(state->engine->tree_epoch());
+  if (!writer.ok()) {
+    return Status::Internal("failed to serialize the rematerialize reply");
+  }
+  *reply = std::move(out).str();
+  return Status::OK();
+}
+
 Result<std::string> ShardServer::HandleQuery(const std::string& payload) {
   auto state = engine_state();
   if (state == nullptr) {
@@ -239,6 +288,9 @@ Result<std::string> ShardServer::HandleQuery(const std::string& payload) {
   }
   NOMSKY_ASSIGN_OR_RETURN(std::shared_ptr<const PreferenceProfile> profile,
                           state->cache->Get(payload));
+  // Every parsed query feeds the materialization history — the signal the
+  // kRematerialize verb and the automatic controller re-tune from.
+  state->history->Record(*profile);
   PackedBlock rows;
   NOMSKY_ASSIGN_OR_RETURN(std::vector<RowId> ids,
                           state->engine->QueryServed(*profile, &rows));
@@ -276,6 +328,7 @@ std::string ShardServer::StatsPayload() const {
   writer.Pod<uint64_t>(snapshot.rejected_frames);
   writer.Pod<uint64_t>(snapshot.cache_hits);
   writer.Pod<uint64_t>(snapshot.cache_misses);
+  writer.Pod<uint64_t>(snapshot.rematerializations);
   return std::move(out).str();
 }
 
@@ -290,6 +343,9 @@ ShardServerStats ShardServer::stats() const {
     const ParsedQueryCache::Stats cache = state->cache->stats();
     snapshot.cache_hits = cache.hits;
     snapshot.cache_misses = cache.misses;
+    // Counts every completed swap, including controller-triggered ones
+    // the manual-verb counter never sees.
+    snapshot.rematerializations = state->engine->rematerializations();
   }
   return snapshot;
 }

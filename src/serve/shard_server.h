@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/query_history.h"
 #include "exec/shard_image.h"
 #include "exec/sharded_engine.h"
 #include "exec/thread_pool.h"
@@ -59,6 +60,9 @@ struct ShardServerStats {
   uint64_t rejected_frames = 0;  ///< malformed/unexpected frames dropped
   uint64_t cache_hits = 0;       ///< parsed-query cache hits
   uint64_t cache_misses = 0;     ///< parsed-query cache misses
+  /// Completed IPO-Tree-k re-materializations (manual kRematerialize verbs
+  /// plus controller-triggered rebuilds).
+  uint64_t rematerializations = 0;
 };
 
 class ShardServer {
@@ -70,6 +74,15 @@ class ShardServer {
     size_t cache_capacity = 256;     ///< parsed-query cache bound
     uint32_t max_payload = net::kDefaultMaxPayload;
     int io_deadline_ms = 30'000;     ///< per-read budget on live frames
+    /// History-driven IPO-Tree-k re-materialization (meaningful with a
+    /// hybrid inner engine; other engines record history but have no tree
+    /// to re-tune). The server always keeps a QueryHistory of answered
+    /// queries so the manual kRematerialize verb works; a threshold > 0
+    /// additionally arms the automatic controller.
+    size_t history_window = 512;     ///< recorded queries kept (0 = all)
+    size_t rematerialize_topk = 10;  ///< plan width per nominal dimension
+    double rematerialize_threshold = 0.0;  ///< 0 = manual verb only
+    size_t rematerialize_cooldown = 64;    ///< queries between decisions
   };
 
   explicit ShardServer(Options options);
@@ -104,8 +117,12 @@ class ShardServer {
  private:
   struct EngineState {
     // Image-adopted engines borrow the template by reference; it must live
-    // exactly as long as the engine, so the pair travels together.
+    // exactly as long as the engine, so the pair travels together. The
+    // history is declared before the engine for the same reason — the
+    // engine's materialization controller borrows it, so it must be
+    // destroyed after the engine.
     std::unique_ptr<PreferenceProfile> tmpl;
+    std::unique_ptr<QueryHistory> history;
     std::unique_ptr<ShardedEngine> engine;
     std::unique_ptr<ParsedQueryCache> cache;
   };
@@ -123,6 +140,10 @@ class ShardServer {
   Status HandleLoad(const std::string& payload);
   Status HandleRefresh(const std::string& payload);
   Result<std::string> HandleQuery(const std::string& payload);
+  /// Re-tunes the live engine's IPO-Tree-k from recorded history (payload:
+  /// u32 plan width, 0 = the server default). On success `reply` carries
+  /// the new u64 tree epoch.
+  Status HandleRematerialize(const std::string& payload, std::string* reply);
   std::string HelloAckPayload() const;
   std::string StatsPayload() const;
 

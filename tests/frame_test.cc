@@ -21,7 +21,7 @@ namespace {
 
 TEST(FrameHeaderTest, RoundTripsEveryTypeAndLength) {
   for (uint8_t raw = static_cast<uint8_t>(FrameType::kHello);
-       raw <= static_cast<uint8_t>(FrameType::kError); ++raw) {
+       raw <= kMaxFrameType; ++raw) {
     const FrameType type = static_cast<FrameType>(raw);
     for (uint32_t length : {0u, 1u, 255u, 256u, 65536u, (16u << 20)}) {
       const auto header = EncodeFrameHeader(type, length);
@@ -58,7 +58,8 @@ TEST(FrameHeaderTest, RejectsVersionBump) {
 }
 
 TEST(FrameHeaderTest, RejectsUnknownTypes) {
-  for (uint8_t raw : {uint8_t{0}, uint8_t{12}, uint8_t{200}, uint8_t{255}}) {
+  for (uint8_t raw : {uint8_t{0}, static_cast<uint8_t>(kMaxFrameType + 1),
+                      uint8_t{200}, uint8_t{255}}) {
     auto header = EncodeFrameHeader(FrameType::kHello, 0);
     header[1] = raw;
     auto decoded = DecodeFrameHeader(header.data(), kDefaultMaxPayload);

@@ -26,7 +26,7 @@ TEST(HybridTest, PopularQueryUsesTree) {
   PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
   HybridEngine hybrid(data, tmpl, /*top_k=*/3);
 
-  std::vector<ValueId> frequent = hybrid.tree().allowed_values(0);
+  std::vector<ValueId> frequent = hybrid.tree()->allowed_values(0);
   PreferenceProfile popular(data.schema());
   ASSERT_TRUE(popular
                   .SetPref(0, ImplicitPreference::Make(8, {frequent[0],
@@ -104,9 +104,9 @@ TEST(HybridTest, ReportsCombinedCosts) {
   Dataset data = gen::Generate(config);
   PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
   HybridEngine hybrid(data, tmpl, /*top_k=*/3);
-  EXPECT_GE(hybrid.MemoryUsage(), hybrid.tree().MemoryUsage());
+  EXPECT_GE(hybrid.MemoryUsage(), hybrid.tree()->MemoryUsage());
   EXPECT_GE(hybrid.preprocessing_seconds(),
-            hybrid.tree().preprocessing_seconds());
+            hybrid.tree()->preprocessing_seconds());
   EXPECT_STREQ(hybrid.name(), "Hybrid");
 }
 

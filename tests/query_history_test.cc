@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/rng.h"
 #include "core/hybrid.h"
@@ -139,6 +141,59 @@ TEST(QueryHistoryTest, HistoryDrivenTreeServesHotQueries) {
   ASSERT_TRUE(
       cold.SetPref(0, ImplicitPreference::Make(12, choices).ValueOrDie()).ok());
   EXPECT_TRUE(lean.Query(cold).status().IsUnsupported());
+}
+
+// Window eviction races every reader the rest of the system uses: batch
+// workers Record while the materialization controller asks for plans and
+// coverage and the planner reads counts. Run under TSan in CI via the
+// "concurrency" label; the invariants below also catch torn eviction
+// bookkeeping (a count exceeding the window means an evicted query's
+// choices were not fully subtracted).
+TEST(QueryHistoryConcurrencyTest, EvictionRacesRecordAndPlanReaders) {
+  Schema s = SmallSchema();
+  constexpr size_t kWindow = 8;  // small: every Record past 8 evicts
+  QueryHistory history(s, kWindow);
+  constexpr int kWriters = 2;
+  constexpr size_t kRecordsPerWriter = 400;
+
+  std::atomic<int> active_writers{kWriters};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kRecordsPerWriter; ++i) {
+        history.Record(MakeQuery(
+            s, {static_cast<ValueId>((i + static_cast<size_t>(t)) % 4)},
+            {static_cast<ValueId>(i % 3)}));
+      }
+      active_writers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (active_writers.load(std::memory_order_acquire) > 0) {
+        auto plan = history.MaterializationPlan(2);
+        ASSERT_EQ(plan.size(), 2u);
+        EXPECT_LE(plan[0].size(), 2u);
+        const double coverage = history.CoverageOf(plan);
+        EXPECT_GE(coverage, 0.0);
+        EXPECT_LE(coverage, 1.0);
+        for (ValueId v = 0; v < 4; ++v) {
+          EXPECT_LE(history.ValueCount(0, v), kWindow)
+              << "a windowed count can never exceed the window";
+        }
+        auto top = history.TopValues(1, 3);
+        EXPECT_LE(top.size(), 3u);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(history.num_recorded(), kWriters * kRecordsPerWriter);
+  // Quiescent state: exactly kWindow queries remain, one g-choice each.
+  size_t remaining = 0;
+  for (ValueId v = 0; v < 4; ++v) remaining += history.ValueCount(0, v);
+  EXPECT_EQ(remaining, kWindow);
+  EXPECT_DOUBLE_EQ(history.CoverageOf(history.MaterializationPlan(4)), 1.0);
 }
 
 TEST(QueryHistoryTest, PlanAlwaysIncludesTemplateInTree) {

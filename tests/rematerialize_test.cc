@@ -1,0 +1,392 @@
+// History-driven IPO-Tree-k re-materialization: HybridEngine::Rematerialize
+// must swap trees off-line under a new epoch without ever changing answers,
+// the MaterializationController must honor its warm-up / threshold /
+// cooldown / hysteresis gates, ShardedEngine::Rematerialize must re-tune
+// every shard (and leave the result cache alone — a swap is
+// answer-preserving), and the concurrency gate at the bottom races queries
+// against a rebuild storm: every answer must be byte-identical to the
+// single ground truth, swap or no swap. Carries the "concurrency" label so
+// the ThreadSanitizer CI job races it for real.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/query_history.h"
+#include "datagen/generator.h"
+#include "exec/engine_registry.h"
+#include "exec/materialization_controller.h"
+#include "exec/sharded_engine.h"
+#include "exec/thread_pool.h"
+#include "skyline/naive.h"
+
+namespace nomsky {
+namespace {
+
+std::vector<RowId> Sorted(std::vector<RowId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct RematCase {
+  Dataset data;
+  PreferenceProfile tmpl;
+};
+
+RematCase MakeCase(uint64_t seed) {
+  gen::GenConfig config;
+  config.num_rows = 300;
+  config.num_numeric = 2;
+  config.num_nominal = 2;
+  config.cardinality = 6;
+  config.zipf_theta = 1.2;
+  config.seed = seed;
+  Dataset data = gen::Generate(config);
+  PreferenceProfile tmpl = gen::MostFrequentTemplate(data);
+  return RematCase{std::move(data), std::move(tmpl)};
+}
+
+// A query whose choices are the template prefix plus `extra` on every
+// nominal dimension — supported by a tree iff `extra` is materialized.
+PreferenceProfile TemplatePlus(const RematCase& c, ValueId extra) {
+  PreferenceProfile q(c.data.schema());
+  for (size_t j = 0; j < q.num_nominal(); ++j) {
+    std::vector<ValueId> choices = c.tmpl.pref(j).choices();
+    if (std::find(choices.begin(), choices.end(), extra) == choices.end()) {
+      choices.push_back(extra);
+    }
+    EXPECT_TRUE(
+        q.SetPref(j, ImplicitPreference::Make(c.tmpl.pref(j).cardinality(),
+                                              choices)
+                         .ValueOrDie())
+            .ok());
+  }
+  return q;
+}
+
+std::vector<RowId> Truth(const RematCase& c, const PreferenceProfile& query) {
+  auto combined = query.CombineWithTemplate(c.tmpl).ValueOrDie();
+  DominanceComparator cmp(c.data, combined);
+  return Sorted(NaiveSkyline(cmp, AllRows(c.data.num_rows())));
+}
+
+// A value of nominal dimension 0 the build-time tree did NOT materialize.
+ValueId UnmaterializedValue(const HybridEngine& hybrid, size_t cardinality) {
+  std::vector<ValueId> allowed = hybrid.tree()->allowed_values(0);
+  for (ValueId v = 0; v < static_cast<ValueId>(cardinality); ++v) {
+    if (std::find(allowed.begin(), allowed.end(), v) == allowed.end()) {
+      return v;
+    }
+  }
+  ADD_FAILURE() << "every value is materialized; shrink top_k";
+  return 0;
+}
+
+TEST(RematerializeTest, SwapTurnsFallbackIntoTreeHitWithIdenticalAnswers) {
+  RematCase c = MakeCase(21);
+  HybridEngine hybrid(c.data, c.tmpl, /*top_k=*/2);
+  ASSERT_EQ(hybrid.tree_epoch(), 0u);
+
+  const ValueId rare = UnmaterializedValue(hybrid, 6);
+  PreferenceProfile query = TemplatePlus(c, rare);
+  const std::vector<RowId> truth = Truth(c, query);
+
+  ASSERT_EQ(Sorted(hybrid.Query(query).ValueOrDie()), truth);
+  EXPECT_EQ(hybrid.fallback_hits(), 1u);
+  EXPECT_EQ(hybrid.tree_hits(), 0u);
+  EXPECT_DOUBLE_EQ(hybrid.tree_hit_ewma(), 0.0);
+
+  // Re-materialize around the previously-unpopular value: the same query
+  // flips to the tree path, the answer does not move by a byte.
+  std::vector<std::vector<ValueId>> plan(2, std::vector<ValueId>{rare});
+  ASSERT_TRUE(hybrid.Rematerialize(plan).ok());
+  EXPECT_EQ(hybrid.tree_epoch(), 1u);
+  EXPECT_EQ(hybrid.rematerializations(), 1u);
+  EXPECT_EQ(hybrid.tree_snapshot()->plan, plan);
+  EXPECT_DOUBLE_EQ(hybrid.tree_hit_ewma(), -1.0)
+      << "the EWMA must reset on swap: the old tree's rate says nothing "
+         "about the new tree";
+
+  ASSERT_EQ(Sorted(hybrid.Query(query).ValueOrDie()), truth);
+  EXPECT_EQ(hybrid.tree_hits(), 1u);
+  EXPECT_EQ(hybrid.fallback_hits(), 1u);
+  EXPECT_DOUBLE_EQ(hybrid.tree_hit_ewma(), 1.0);
+}
+
+TEST(RematerializeTest, RejectsMalformedPlansWithoutTouchingTheTree) {
+  RematCase c = MakeCase(23);
+  HybridEngine hybrid(c.data, c.tmpl, /*top_k=*/3);
+  auto before = hybrid.tree_snapshot();
+
+  // Wrong arity: one list per nominal dimension, no more, no fewer.
+  EXPECT_TRUE(hybrid.Rematerialize({{0}}).IsInvalidArgument());
+  EXPECT_TRUE(hybrid.Rematerialize({{0}, {0}, {0}}).IsInvalidArgument());
+  // Values must stay inside the dimension's domain.
+  EXPECT_TRUE(hybrid.Rematerialize({{0}, {6}}).IsOutOfRange());
+
+  EXPECT_EQ(hybrid.tree_snapshot().get(), before.get())
+      << "a rejected plan must not publish anything";
+  EXPECT_EQ(hybrid.tree_epoch(), 0u);
+  EXPECT_EQ(hybrid.rematerializations(), 0u);
+}
+
+TEST(RematerializeTest, ControllerHonorsWarmupThresholdAndCooldown) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("x").ok());
+  ASSERT_TRUE(schema.AddNominal("g", {"a", "b", "c", "d"}).ok());
+  QueryHistory history(schema);
+  PreferenceProfile hot(schema);
+  ASSERT_TRUE(
+      hot.SetPref(0, ImplicitPreference::Make(4, {0}).ValueOrDie()).ok());
+  for (int i = 0; i < 8; ++i) history.Record(hot);  // plan coverage = 1.0
+
+  std::atomic<double> observed{0.1};
+  std::atomic<size_t> rebuild_calls{0};
+  MaterializationController::Options options;
+  options.topk = 2;
+  options.threshold = 0.5;
+  options.hysteresis = 0.1;
+  options.cooldown = 8;
+  options.min_observations = 4;
+  options.pool = nullptr;  // inline: decisions land before Tick returns
+  MaterializationController controller(
+      &history, [&] { return observed.load(); },
+      [&](std::vector<std::vector<ValueId>> plan) {
+        EXPECT_EQ(plan, history.MaterializationPlan(2));
+        rebuild_calls.fetch_add(1);
+        return Status::OK();
+      },
+      options);
+
+  // Warm-up: the first min_observations-1 ticks never decide.
+  for (int i = 0; i < 3; ++i) controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 0u);
+  EXPECT_EQ(rebuild_calls.load(), 0u);
+
+  // Tick 4 crosses the warm-up with observed 0.1 < threshold and planned
+  // coverage 1.0 > 0.1 + hysteresis: rebuild fires.
+  controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 1u);
+  EXPECT_EQ(controller.stats().rebuilds, 1u);
+  EXPECT_EQ(rebuild_calls.load(), 1u);
+  EXPECT_DOUBLE_EQ(controller.stats().planned_coverage, 1.0);
+
+  // Cooldown: the next 7 ticks (observations 5..11) stay silent; tick 12
+  // is the first allowed to decide again.
+  for (int i = 0; i < 7; ++i) controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 1u);
+  controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 2u);
+  EXPECT_EQ(rebuild_calls.load(), 2u);
+
+  // Threshold: a healthy hit rate never reaches the decision stage.
+  observed.store(0.9);
+  for (int i = 0; i < 20; ++i) controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 2u);
+  EXPECT_EQ(rebuild_calls.load(), 2u);
+}
+
+TEST(RematerializeTest, ControllerHysteresisDeclinesUnpromisingPlans) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("x").ok());
+  ASSERT_TRUE(schema.AddNominal("g", {"a", "b", "c", "d"}).ok());
+  QueryHistory history(schema);
+  // Four queries on four distinct values: a width-1 plan covers only 25%.
+  for (ValueId v = 0; v < 4; ++v) {
+    PreferenceProfile q(schema);
+    ASSERT_TRUE(
+        q.SetPref(0, ImplicitPreference::Make(4, {v}).ValueOrDie()).ok());
+    history.Record(q);
+  }
+
+  std::atomic<size_t> rebuild_calls{0};
+  MaterializationController::Options options;
+  options.topk = 1;
+  options.threshold = 0.5;
+  options.hysteresis = 0.1;
+  options.cooldown = 4;
+  options.min_observations = 1;
+  MaterializationController controller(
+      &history, [] { return 0.45; },
+      [&](std::vector<std::vector<ValueId>>) {
+        rebuild_calls.fetch_add(1);
+        return Status::OK();
+      },
+      options);
+
+  // Observed 0.45 is below threshold, but the best available plan only
+  // promises 0.25 < 0.45 + 0.1 — rebuilding would thrash for nothing.
+  controller.Tick();
+  EXPECT_EQ(controller.stats().decisions, 1u);
+  EXPECT_EQ(controller.stats().rebuilds, 0u);
+  EXPECT_EQ(rebuild_calls.load(), 0u);
+  EXPECT_DOUBLE_EQ(controller.stats().planned_coverage, 0.25);
+}
+
+TEST(RematerializeTest, RematerializeNowIgnoresEveryGate) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddNumeric("x").ok());
+  ASSERT_TRUE(schema.AddNominal("g", {"a", "b"}).ok());
+  QueryHistory history(schema);
+  std::atomic<size_t> rebuild_calls{0};
+  size_t seen_width = 0;
+  MaterializationController::Options options;
+  options.topk = 2;
+  options.min_observations = 1000;  // would block any Tick-driven decision
+  MaterializationController controller(
+      &history, [] { return -1.0; },
+      [&](std::vector<std::vector<ValueId>> plan) {
+        rebuild_calls.fetch_add(1);
+        seen_width = plan.size();
+        return Status::OK();
+      },
+      options);
+  // Zero ticks, no observed signal, empty history: the manual verb still
+  // rebuilds (an empty-history plan shrinks the tree to the template).
+  ASSERT_TRUE(controller.RematerializeNow().ok());
+  EXPECT_EQ(rebuild_calls.load(), 1u);
+  EXPECT_EQ(seen_width, 1u);
+  EXPECT_EQ(controller.stats().rebuilds, 1u);
+}
+
+TEST(RematerializeTest, ShardedRematerializeSwapsEveryShard) {
+  RematCase c = MakeCase(27);
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 3;
+  options.topk = 2;
+  auto created = ShardedEngine::Create("hybrid", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+  ASSERT_EQ(engine->tree_epoch(), 0u);
+
+  PreferenceProfile query = TemplatePlus(c, 5);
+  const std::vector<RowId> truth = Truth(c, query);
+  ASSERT_EQ(Sorted(engine->Query(query).ValueOrDie()), truth);
+
+  std::vector<std::vector<ValueId>> plan(2, std::vector<ValueId>{5});
+  ASSERT_TRUE(engine->Rematerialize(plan).ok());
+  EXPECT_EQ(engine->tree_epoch(), 1u);
+  EXPECT_EQ(engine->rematerializations(), 1u);
+  EXPECT_EQ(Sorted(engine->Query(query).ValueOrDie()), truth)
+      << "a swap must never change answers";
+  EXPECT_GT(engine->tree_hits_total() + engine->fallback_hits_total(), 0u);
+}
+
+TEST(RematerializeTest, ShardedRematerializeRejectsNonHybridInners) {
+  RematCase c = MakeCase(29);
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 2;
+  auto created = ShardedEngine::Create("sfsd", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+  EXPECT_TRUE(engine->Rematerialize({{0}, {0}}).IsInvalidArgument());
+  EXPECT_EQ(engine->materialization_controller(), nullptr);
+}
+
+// Satellite guarantee: a re-materialization is answer-preserving, so the
+// result cache must survive the swap UNTOUCHED — no invalidation, no
+// generation bump, and the cached bytes still match a fresh evaluation.
+TEST(RematerializeTest, ResultCacheSurvivesRematerialization) {
+  RematCase c = MakeCase(31);
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.data_shards = 2;
+  options.topk = 2;
+  options.result_cache_capacity = 16;
+  auto created = ShardedEngine::Create("hybrid", c.data, c.tmpl, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedEngine> engine = std::move(created).ValueOrDie();
+  ASSERT_NE(engine->result_cache(), nullptr);
+
+  PreferenceProfile query = TemplatePlus(c, 4);
+  CacheVerdict verdict = CacheVerdict::kMiss;
+  auto first = engine->QueryServed(query, nullptr, &verdict);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(verdict, CacheVerdict::kMiss);
+  const uint64_t generation = engine->result_cache()->generation();
+
+  std::vector<std::vector<ValueId>> plan(2, std::vector<ValueId>{4});
+  ASSERT_TRUE(engine->Rematerialize(plan).ok());
+
+  EXPECT_EQ(engine->result_cache()->generation(), generation)
+      << "Rematerialize must NOT invalidate: the swap is answer-preserving";
+  EXPECT_EQ(engine->result_cache()->stats().invalidations, 0u);
+
+  auto second = engine->QueryServed(query, nullptr, &verdict);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(verdict, CacheVerdict::kHit);
+  EXPECT_EQ(*second, *first) << "cached rows must stay byte-identical";
+}
+
+// The reason the epoch slot exists: queries racing a re-materialization
+// storm must ALWAYS get the one true answer — the tree and the fallback
+// agree by construction, so unlike a shard rebuild there are not even two
+// legitimate epochs, just one invariant skyline per query. Run under TSan
+// in CI via the "concurrency" label.
+TEST(RematerializeConcurrencyTest, QueriesRacingRebuildStormStayIdentical) {
+  RematCase c = MakeCase(33);
+  HybridEngine hybrid(c.data, c.tmpl, /*top_k=*/2);
+  const ValueId rare = UnmaterializedValue(hybrid, 6);
+
+  // One query the build-time tree answers, one that needs either the
+  // fallback or a re-materialized tree — both race the swap storm.
+  std::vector<PreferenceProfile> queries;
+  queries.push_back(TemplatePlus(c, hybrid.tree()->allowed_values(0)[0]));
+  queries.push_back(TemplatePlus(c, rare));
+  std::vector<std::vector<RowId>> truths;
+  for (const auto& q : queries) truths.push_back(Truth(c, q));
+
+  constexpr int kReaders = 3;
+  constexpr size_t kQueriesPerReader = 60;
+  std::atomic<int> active_readers{kReaders};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (size_t i = 0; i < kQueriesPerReader; ++i) {
+        const size_t which = (i + static_cast<size_t>(t)) % queries.size();
+        auto rows = hybrid.Query(queries[which]);
+        if (!rows.ok()) {
+          active_readers.fetch_sub(1, std::memory_order_release);
+          GTEST_FAIL() << rows.status().ToString();
+        }
+        if (Sorted(std::move(*rows)) != truths[which]) {
+          active_readers.fetch_sub(1, std::memory_order_release);
+          GTEST_FAIL() << "answer drifted during a re-materialization swap";
+        }
+      }
+      active_readers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // The writer keeps flipping between a plan covering the rare value and
+  // an empty plan (template-only tree) until every reader is done.
+  const std::vector<std::vector<ValueId>> plan_rare(
+      2, std::vector<ValueId>{rare});
+  const std::vector<std::vector<ValueId>> plan_empty(2,
+                                                     std::vector<ValueId>{});
+  uint64_t swaps = 0;
+  while (active_readers.load(std::memory_order_acquire) > 0 || swaps < 2) {
+    Status st = hybrid.Rematerialize(swaps % 2 == 0 ? plan_rare : plan_empty);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ++swaps;
+  }
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(hybrid.tree_epoch(), swaps);
+  EXPECT_EQ(hybrid.rematerializations(), swaps);
+  EXPECT_EQ(hybrid.tree_hits() + hybrid.fallback_hits(),
+            static_cast<size_t>(kReaders) * kQueriesPerReader);
+}
+
+}  // namespace
+}  // namespace nomsky

@@ -250,6 +250,53 @@ TEST_F(ServingClusterTest, RefreshThroughTheFrontEndTracksLocalRebuild) {
   EXPECT_EQ(stats->refreshes, 1u);
 }
 
+TEST(ServingRematerializeTest, FrontEndVerbRetunesWithoutCacheInvalidation) {
+  Dataset data = MakeData(31);
+  PreferenceProfile tmpl(data.schema());
+  EngineOptions engine_options;
+  engine_options.data_shards = 1;
+  auto local =
+      ShardedEngine::Create("sfsd", data, tmpl, engine_options).ValueOrDie();
+  ShardServer::Options server_options;
+  server_options.inner_engine = "hybrid";
+  ShardServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+  std::istringstream in(SingleShardImage(*local, 0));
+  auto image = ShardImage::Load(in, "slice");
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  ASSERT_TRUE(server.Bootstrap(std::move(image).ValueOrDie()).ok());
+
+  auto connected = ServingExecutor::Connect(
+      {Endpoint{"127.0.0.1", server.port()}}, ServingExecutor::Options{});
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<ServingExecutor> executor =
+      std::move(connected).ValueOrDie();
+
+  const std::string text = "nom0: v1<v0<*";
+  auto first = executor->Execute(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->result_verdict, CacheVerdict::kMiss);
+
+  auto tree_epoch = executor->Rematerialize(0, /*topk=*/2);
+  ASSERT_TRUE(tree_epoch.ok()) << tree_epoch.status().ToString();
+  EXPECT_EQ(*tree_epoch, 1u);
+  auto stats = executor->ServerStats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rematerializations, 1u);
+
+  // Unlike Refresh, the verb must NOT invalidate the front-end result
+  // cache: a re-materialization is answer-preserving, so the repeat is
+  // answered locally and byte-identically.
+  auto second = executor->Execute(text);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->result_verdict, CacheVerdict::kHit);
+  EXPECT_EQ(second->rows, first->rows);
+
+  // Out-of-range backend index fails soft.
+  EXPECT_TRUE(executor->Rematerialize(7).status().IsOutOfRange());
+  server.Stop();
+}
+
 TEST_F(ServingClusterTest, ParallelFanOutMatchesSequential) {
   ThreadPool pool(kBackends);
   ServingExecutor::Options pooled;

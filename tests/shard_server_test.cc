@@ -311,7 +311,7 @@ TEST_F(ShardServerTest, StatsFrameAndQueryCacheCounters) {
   ASSERT_EQ(stats_frame.type, net::FrameType::kStatsResult);
   std::istringstream in(stats_frame.payload);
   BinaryReader reader(in);
-  uint64_t wire[7] = {0, 0, 0, 0, 0, 0, 0};
+  uint64_t wire[8] = {0, 0, 0, 0, 0, 0, 0, 0};
   for (uint64_t& field : wire) ASSERT_TRUE(reader.Pod(&field));
   const ShardServerStats stats = server.stats();
   EXPECT_EQ(wire[0], stats.queries);
@@ -321,6 +321,60 @@ TEST_F(ShardServerTest, StatsFrameAndQueryCacheCounters) {
   EXPECT_EQ(wire[5], 1u);
   EXPECT_EQ(wire[6], stats.cache_misses);
   EXPECT_EQ(wire[6], 1u);
+  EXPECT_EQ(wire[7], stats.rematerializations);
+  EXPECT_EQ(wire[7], 0u);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, RematerializeVerbRetunesHybridTrees) {
+  ShardServer::Options options = ServerOptions();
+  options.inner_engine = "hybrid";
+  options.rematerialize_topk = 2;
+  ShardServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  net::TcpSocket client = ConnectTo(server);
+  ASSERT_EQ(Call(client, net::FrameType::kLoadShard, ImageBytes(*local_)).type,
+            net::FrameType::kOk);
+
+  // Serve once so the history has something to plan from.
+  net::Frame before = Call(client, net::FrameType::kQuery, query_text_);
+  ASSERT_EQ(before.type, net::FrameType::kQueryResult) << before.payload;
+
+  // The verb: u32 plan width (0 = the server's configured default). The
+  // kOk reply carries the new tree epoch.
+  std::ostringstream payload;
+  BinaryWriter writer(payload);
+  writer.Pod<uint32_t>(0);
+  net::Frame reply =
+      Call(client, net::FrameType::kRematerialize, payload.str());
+  ASSERT_EQ(reply.type, net::FrameType::kOk) << reply.payload;
+  std::istringstream in(reply.payload);
+  BinaryReader reader(in);
+  uint64_t tree_epoch = 0;
+  ASSERT_TRUE(reader.Pod(&tree_epoch));
+  EXPECT_EQ(tree_epoch, 1u);
+  EXPECT_EQ(server.stats().rematerializations, 1u);
+
+  // The swap is answer-preserving down to the bytes on the wire.
+  net::Frame after = Call(client, net::FrameType::kQuery, query_text_);
+  ASSERT_EQ(after.type, net::FrameType::kQueryResult) << after.payload;
+  EXPECT_EQ(after.payload, before.payload);
+  server.Stop();
+}
+
+TEST_F(ShardServerTest, RematerializeVerbRejectsNonHybridInners) {
+  ShardServer server(ServerOptions());  // default inner engine: sfsd
+  ASSERT_TRUE(server.Start().ok());
+  net::TcpSocket client = ConnectTo(server);
+  ASSERT_EQ(Call(client, net::FrameType::kLoadShard, ImageBytes(*local_)).type,
+            net::FrameType::kOk);
+  std::ostringstream payload;
+  BinaryWriter writer(payload);
+  writer.Pod<uint32_t>(4);
+  net::Frame reply =
+      Call(client, net::FrameType::kRematerialize, payload.str());
+  EXPECT_EQ(reply.type, net::FrameType::kError);
+  EXPECT_EQ(server.stats().rematerializations, 0u);
   server.Stop();
 }
 

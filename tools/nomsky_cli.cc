@@ -9,8 +9,10 @@
 //              [--split-shards PREFIX] [QUERY ...]
 //   nomsky_cli --load-shards FILE [--template PREFS] [QUERY ...]
 //   nomsky_cli --serve PORT [--load-shards FILE] [--engine sharded:NAME]
+//              [--rematerialize-threshold X] [--rematerialize-cooldown N]
 //   nomsky_cli --connect HOST:PORT[,HOST:PORT...] [--push-image FILE]
-//              [--refresh SHARD:FILE] [--stats] [--shutdown] [QUERY ...]
+//              [--refresh SHARD:FILE] [--rematerialize [K]] [--stats]
+//              [--shutdown] [QUERY ...]
 //   nomsky_cli --list-engines
 //
 // SPEC is a comma-separated dimension list:
@@ -65,8 +67,11 @@
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/hybrid.h"
+#include "core/query_history.h"
 #include "datagen/csv.h"
 #include "exec/engine_registry.h"
+#include "exec/materialization_controller.h"
 #include "exec/planner.h"
 #include "exec/query_executor.h"
 #include "exec/result_cache.h"
@@ -244,11 +249,15 @@ void PrintRows(const RowView& view, const std::vector<RowId>& rows,
 
 int RunServe(uint16_t port, const std::string& load_shards_path,
              const std::string& engine_name, size_t threads,
-             size_t cache_capacity) {
+             size_t cache_capacity, size_t topk,
+             double rematerialize_threshold, size_t rematerialize_cooldown) {
   serve::ShardServer::Options options;
   options.port = port;
   options.threads = threads;
   options.cache_capacity = cache_capacity;
+  options.rematerialize_topk = topk;
+  options.rematerialize_threshold = rematerialize_threshold;
+  options.rematerialize_cooldown = rematerialize_cooldown;
   if (engine_name.rfind("sharded:", 0) == 0) {
     options.inner_engine = engine_name.substr(8);
   }
@@ -280,12 +289,13 @@ int RunServe(uint16_t port, const std::string& load_shards_path,
   const serve::ShardServerStats stats = server.stats();
   std::fprintf(stderr,
                "server stopped: %llu queries (%llu failed), %llu refreshes, "
-               "%llu loads, %llu rejected frames\n",
+               "%llu loads, %llu rejected frames, %llu rematerializations\n",
                static_cast<unsigned long long>(stats.queries),
                static_cast<unsigned long long>(stats.query_failures),
                static_cast<unsigned long long>(stats.refreshes),
                static_cast<unsigned long long>(stats.loads),
-               static_cast<unsigned long long>(stats.rejected_frames));
+               static_cast<unsigned long long>(stats.rejected_frames),
+               static_cast<unsigned long long>(stats.rematerializations));
   return 0;
 }
 
@@ -293,6 +303,8 @@ struct ConnectArgs {
   std::string endpoints_spec;
   std::string push_image_path;
   std::string refresh_spec;  // "SHARD:FILE"
+  bool rematerialize = false;
+  uint32_t rematerialize_topk = 0;  // 0 = the server's default width
   bool stats = false;
   bool shutdown = false;
   bool explain = false;
@@ -380,6 +392,39 @@ int RunConnect(ConnectArgs args) {
     did_admin = true;
   }
 
+  if (args.rematerialize) {
+    // Every listed server re-tunes from its OWN recorded history — each
+    // holds a different slice and may see a different query mix.
+    for (const serve::Endpoint& endpoint : endpoints) {
+      std::ostringstream payload;
+      BinaryWriter writer(payload);
+      writer.Pod<uint32_t>(args.rematerialize_topk);
+      auto reply = AdminCall(endpoint, net::FrameType::kRematerialize,
+                             std::move(payload).str(), net::FrameType::kOk);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "--rematerialize: %s\n",
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      std::istringstream in(reply->payload);
+      BinaryReader reader(in);
+      uint64_t tree_epoch = 0;
+      if (!reader.Pod(&tree_epoch)) {
+        std::fprintf(stderr,
+                     "--rematerialize: truncated reply from %s:%u\n",
+                     endpoint.host.c_str(),
+                     static_cast<unsigned>(endpoint.port));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "rematerialized %s:%u (tree epoch %llu)\n",
+                   endpoint.host.c_str(),
+                   static_cast<unsigned>(endpoint.port),
+                   static_cast<unsigned long long>(tree_epoch));
+    }
+    did_admin = true;
+  }
+
   if (args.stats) {
     for (const serve::Endpoint& endpoint : endpoints) {
       auto reply = AdminCall(endpoint, net::FrameType::kStats, "",
@@ -397,7 +442,8 @@ int RunConnect(ConnectArgs args) {
           !reader.Pod(&stats.refreshes) || !reader.Pod(&stats.loads) ||
           !reader.Pod(&stats.rejected_frames) ||
           !reader.Pod(&stats.cache_hits) ||
-          !reader.Pod(&stats.cache_misses)) {
+          !reader.Pod(&stats.cache_misses) ||
+          !reader.Pod(&stats.rematerializations)) {
         std::fprintf(stderr, "--stats: truncated reply from %s:%u\n",
                      endpoint.host.c_str(),
                      static_cast<unsigned>(endpoint.port));
@@ -405,7 +451,7 @@ int RunConnect(ConnectArgs args) {
       }
       std::printf("server %s:%u: queries=%llu failures=%llu refreshes=%llu "
                   "loads=%llu rejected=%llu cache_hits=%llu "
-                  "cache_misses=%llu\n",
+                  "cache_misses=%llu rematerializations=%llu\n",
                   endpoint.host.c_str(),
                   static_cast<unsigned>(endpoint.port),
                   static_cast<unsigned long long>(stats.queries),
@@ -414,7 +460,8 @@ int RunConnect(ConnectArgs args) {
                   static_cast<unsigned long long>(stats.loads),
                   static_cast<unsigned long long>(stats.rejected_frames),
                   static_cast<unsigned long long>(stats.cache_hits),
-                  static_cast<unsigned long long>(stats.cache_misses));
+                  static_cast<unsigned long long>(stats.cache_misses),
+                  static_cast<unsigned long long>(stats.rematerializations));
     }
     did_admin = true;
   }
@@ -543,6 +590,8 @@ int Run(int argc, char** argv) {
   size_t topk = 10, limit = 20, threads = 1, shards = 0;
   size_t query_cache = 256;
   long result_cache = -1;  // -1 = default (64 local, 128 connect)
+  double rematerialize_threshold = 0.0;  // 0 = no adaptive rebuilds
+  size_t rematerialize_cooldown = 64;
   bool explain = false;
   bool adaptive = true;
   std::vector<std::string> query_texts;
@@ -615,6 +664,32 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "--result-cache must be >= 0 (0 disables)\n");
         return 2;
       }
+    } else if (arg == "--rematerialize") {
+      // Optional width: "--rematerialize 20" pins the plan to the top 20
+      // values per dimension; bare "--rematerialize" uses the default.
+      connect.rematerialize = true;
+      if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+          std::strspn(argv[i + 1], "0123456789") ==
+              std::strlen(argv[i + 1])) {
+        connect.rematerialize_topk =
+            static_cast<uint32_t>(std::atol(argv[++i]));
+      }
+    } else if (arg == "--rematerialize-threshold") {
+      rematerialize_threshold = std::atof(need_value(
+          "--rematerialize-threshold"));
+      if (rematerialize_threshold < 0.0 || rematerialize_threshold > 1.0) {
+        std::fprintf(stderr,
+                     "--rematerialize-threshold must be in [0, 1] "
+                     "(0 disables)\n");
+        return 2;
+      }
+    } else if (arg == "--rematerialize-cooldown") {
+      long value = std::atol(need_value("--rematerialize-cooldown"));
+      if (value < 1) {
+        std::fprintf(stderr, "--rematerialize-cooldown must be >= 1\n");
+        return 2;
+      }
+      rematerialize_cooldown = static_cast<size_t>(value);
     } else if (arg == "--no-adaptive") {
       adaptive = false;
     } else if (arg == "--explain") {
@@ -635,23 +710,31 @@ int Run(int argc, char** argv) {
                   "[--template PREFS] [--engine NAME|auto|sharded:NAME] "
                   "[--threads N] [--shards K] [--batch FILE] [--explain] "
                   "[--topk K] [--limit N] [--result-cache N] "
-                  "[--no-adaptive] [--save-shards FILE] "
+                  "[--no-adaptive] [--rematerialize-threshold X] "
+                  "[--rematerialize-cooldown N] [--save-shards FILE] "
                   "[--load-shards FILE] [--split-shards PREFIX] "
                   "[QUERY ...]\n"
                   "       nomsky_cli --load-shards FILE [--template PREFS] "
                   "[QUERY ...]\n"
                   "       nomsky_cli --serve PORT [--load-shards FILE] "
                   "[--engine sharded:NAME] [--threads N] "
-                  "[--query-cache N]\n"
+                  "[--query-cache N] [--rematerialize-threshold X] "
+                  "[--rematerialize-cooldown N]\n"
                   "       nomsky_cli --connect HOST:PORT[,...] "
-                  "[--push-image FILE] [--refresh SHARD:FILE] [--stats] "
+                  "[--push-image FILE] [--refresh SHARD:FILE] "
+                  "[--rematerialize [K]] [--stats] "
                   "[--shutdown] [--batch FILE] [--explain] "
                   "[--result-cache N] [QUERY ...]\n"
                   "       nomsky_cli --list-engines\n"
                   "--result-cache N bounds the profile-subsumption result "
                   "cache (0 disables; default 64 local / 128 connect); "
                   "--no-adaptive pins --engine auto to the static cost "
-                  "model instead of measured route latencies\n");
+                  "model instead of measured route latencies; "
+                  "--rematerialize-threshold X arms history-driven "
+                  "IPO-Tree-k rebuilds when the observed tree-hit rate "
+                  "drops below X (hybrid engines, 0 disables); "
+                  "--rematerialize [K] asks connected servers to re-tune "
+                  "their trees now (K values/dim, default server-side)\n");
       return 0;
     } else {
       query_texts.push_back(arg);
@@ -682,7 +765,8 @@ int Run(int argc, char** argv) {
     if (threads == 0) threads = ThreadPool::DefaultThreads();
     if (engine_name.empty()) engine_name = "sharded";
     return RunServe(static_cast<uint16_t>(serve_port), load_shards_path,
-                    engine_name, threads, query_cache);
+                    engine_name, threads, query_cache, topk,
+                    rematerialize_threshold, rematerialize_cooldown);
   }
 
   const bool image_only = !load_shards_path.empty() && csv_path.empty();
@@ -755,6 +839,10 @@ int Run(int argc, char** argv) {
   // One shared pool powers both the batch fan-out and the engines'
   // internal parallel paths (IPO-tree build, SFS-D partition-merge).
   ThreadPool pool(threads);
+  // Answered queries feed the popularity history that re-materialization
+  // plans come from (declared before the engine: a sharded engine's
+  // controller borrows it).
+  QueryHistory history(schema, /*window=*/512);
   EngineOptions engine_options;
   engine_options.topk = topk;
   engine_options.build_threads = 0;  // construction always uses all cores
@@ -762,6 +850,9 @@ int Run(int argc, char** argv) {
   engine_options.data_shards = shards;
   engine_options.pool = &pool;
   engine_options.adaptive_routing = adaptive;
+  engine_options.history = &history;
+  engine_options.rematerialize_threshold = rematerialize_threshold;
+  engine_options.rematerialize_cooldown = rematerialize_cooldown;
   // Sharded engines carry their own result cache on the serving path;
   // non-sharded engines get one at the executor below.
   const size_t result_cache_capacity =
@@ -793,6 +884,23 @@ int Run(int argc, char** argv) {
     engine = std::move(created).ValueOrDie();
   }
   const auto* auto_engine = dynamic_cast<const AutoEngine*>(engine.get());
+  // A bare hybrid engine gets its adaptive controller here at the CLI seam
+  // (the sharded engine arms its own internally from EngineOptions).
+  auto* hybrid_local = dynamic_cast<HybridEngine*>(engine.get());
+  std::unique_ptr<MaterializationController> hybrid_remat;
+  if (rematerialize_threshold > 0.0 && hybrid_local != nullptr) {
+    MaterializationController::Options remat_options;
+    remat_options.topk = topk;
+    remat_options.threshold = rematerialize_threshold;
+    remat_options.cooldown = rematerialize_cooldown;
+    remat_options.pool = &pool;
+    hybrid_remat = std::make_unique<MaterializationController>(
+        &history, [hybrid_local] { return hybrid_local->tree_hit_ewma(); },
+        [hybrid_local](std::vector<std::vector<ValueId>> plan) {
+          return hybrid_local->Rematerialize(std::move(plan));
+        },
+        remat_options);
+  }
   std::fprintf(stderr, "loaded %zu rows; %s ready in %.2f s\n", num_rows,
                engine_name.c_str(), build.ElapsedSeconds());
 
@@ -887,6 +995,49 @@ int Run(int argc, char** argv) {
       }
     }
   };
+  auto print_remat_stats = [&] {
+    // Tree-hit accounting exists on a bare hybrid engine and on a sharded
+    // engine whose inner engines are hybrid; anything else has no tree.
+    const auto* sharded = dynamic_cast<const ShardedEngine*>(engine.get());
+    size_t tree_hits = 0, fallback_hits = 0, rebuilds = 0;
+    double ewma = -1.0;
+    uint64_t tree_epoch = 0;
+    const MaterializationController* controller = nullptr;
+    if (hybrid_local != nullptr) {
+      tree_hits = hybrid_local->tree_hits();
+      fallback_hits = hybrid_local->fallback_hits();
+      rebuilds = hybrid_local->rematerializations();
+      ewma = hybrid_local->tree_hit_ewma();
+      tree_epoch = hybrid_local->tree_epoch();
+      controller = hybrid_remat.get();
+    } else if (sharded != nullptr) {
+      tree_hits = sharded->tree_hits_total();
+      fallback_hits = sharded->fallback_hits_total();
+      rebuilds = sharded->rematerializations();
+      ewma = sharded->tree_hit_ewma();
+      tree_epoch = sharded->tree_epoch();
+      controller = sharded->materialization_controller();
+    } else {
+      return;
+    }
+    if (tree_hits == 0 && fallback_hits == 0 && controller == nullptr) {
+      return;  // non-hybrid inner engines: nothing to report
+    }
+    std::fprintf(stderr,
+                 "materialization: tree_hits=%zu fallbacks=%zu "
+                 "hit_ewma=%.3f tree_epoch=%llu rebuilds=%zu\n",
+                 tree_hits, fallback_hits, ewma,
+                 static_cast<unsigned long long>(tree_epoch), rebuilds);
+    if (controller != nullptr) {
+      const MaterializationController::Stats s = controller->stats();
+      std::fprintf(stderr,
+                   "rematerialization controller: observations=%zu "
+                   "decisions=%zu rebuilds=%zu failures=%zu "
+                   "planned_coverage=%.3f\n",
+                   s.observations, s.decisions, s.rebuilds,
+                   s.rebuild_failures, s.planned_coverage);
+    }
+  };
   auto print_result_cache_stats = [](const ResultCache* cache) {
     if (cache == nullptr) return;
     const ResultCache::Stats s = cache->stats();
@@ -937,7 +1088,10 @@ int Run(int argc, char** argv) {
       batch_cache = std::make_unique<ResultCache>(schema, cache_options);
       executor.set_result_cache(batch_cache.get(), &*data, &tmpl);
     }
-    BatchResult batch = executor.RunBatch(queries);
+    if (hybrid_remat != nullptr) {
+      executor.set_materialization_controller(hybrid_remat.get());
+    }
+    BatchResult batch = executor.RunBatch(queries, &history);
     for (size_t i = 0; i < queries.size(); ++i) {
       std::fprintf(stderr, "# %s\n", query_texts[i].c_str());
       // The batch already ran; the verdict is re-derived after the fact
@@ -967,6 +1121,8 @@ int Run(int argc, char** argv) {
                  queries.size(), batch.failures, 1e3 * batch.seconds,
                  batch.QueriesPerSecond(), pool.num_threads());
     print_auto_stats();
+    if (hybrid_remat != nullptr) hybrid_remat->Sync();
+    print_remat_stats();
     print_result_cache_stats(batch_cache != nullptr
                                  ? batch_cache.get()
                                  : (sharded_local != nullptr
@@ -995,6 +1151,10 @@ int Run(int argc, char** argv) {
         : sharded_interactive != nullptr
             ? sharded_interactive->QueryServed(*query, nullptr, &verdict)
             : engine->Query(*query);
+    if (rows.ok()) {
+      history.Record(*query);
+      if (hybrid_remat != nullptr) hybrid_remat->Tick();
+    }
     if (explained) print_plan(decision);
     if (explain && sharded_interactive != nullptr &&
         sharded_interactive->result_cache() != nullptr) {
@@ -1009,6 +1169,8 @@ int Run(int argc, char** argv) {
     PrintRows(*view, *rows, limit);
   }
   print_auto_stats();
+  if (hybrid_remat != nullptr) hybrid_remat->Sync();
+  print_remat_stats();
   if (sharded_interactive != nullptr) {
     print_result_cache_stats(sharded_interactive->result_cache());
   }
